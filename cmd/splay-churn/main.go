@@ -1,0 +1,129 @@
+// Command splay-churn provides the churn-trace tooling of §5.5: compile
+// synthetic descriptions into traces, speed traces up, amplify their
+// turnover, and summarize their dynamics.
+//
+// Usage:
+//
+//	splay-churn gen -script fig4.churn [-seed 1] > trace.txt
+//	splay-churn speedup -factor 10 < trace.txt > fast.txt
+//	splay-churn amplify -factor 2 [-seed 1] < trace.txt > heavy.txt
+//	splay-churn stats [-bucket 1m] < trace.txt
+//	splay-churn overnet [-nodes 620] [-minutes 50] > overnet.txt
+//	splay-churn example        # prints the paper's Fig. 4 script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/splaykit/splay/internal/churn"
+	"github.com/splaykit/splay/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "speedup":
+		speedup(os.Args[2:])
+	case "amplify":
+		amplify(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	case "overnet":
+		overnet(os.Args[2:])
+	case "example":
+		fmt.Println(churn.PaperScript)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: splay-churn gen|speedup|amplify|stats|overnet|example …")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	path := fs.String("script", "", "churn script file (default: the paper's example)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args) //nolint:errcheck
+	src := churn.PaperScript
+	if *path != "" {
+		data, err := os.ReadFile(*path)
+		if err != nil {
+			log.Fatalf("splay-churn: %v", err)
+		}
+		src = string(data)
+	}
+	script, err := churn.ParseScript(src)
+	if err != nil {
+		log.Fatalf("splay-churn: %v", err)
+	}
+	tr := churn.FromScript(script, *seed)
+	if err := churn.WriteTrace(os.Stdout, tr); err != nil {
+		log.Fatalf("splay-churn: %v", err)
+	}
+}
+
+func readTrace() churn.Trace {
+	tr, err := churn.ReadTrace(os.Stdin)
+	if err != nil {
+		log.Fatalf("splay-churn: %v", err)
+	}
+	return tr
+}
+
+func speedup(args []string) {
+	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
+	factor := fs.Float64("factor", 2, "time compression factor")
+	fs.Parse(args) //nolint:errcheck
+	if err := churn.WriteTrace(os.Stdout, readTrace().SpeedUp(*factor)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func amplify(args []string) {
+	fs := flag.NewFlagSet("amplify", flag.ExitOnError)
+	factor := fs.Float64("factor", 2, "turnover amplification factor (≥1)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args) //nolint:errcheck
+	if err := churn.WriteTrace(os.Stdout, readTrace().Amplify(*factor, *seed)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bucket := fs.Duration("bucket", time.Minute, "aggregation window")
+	fs.Parse(args) //nolint:errcheck
+	tr := readTrace()
+	pop, joins, leaves := tr.Population(*bucket)
+	fmt.Printf("%-10s %8s %8s %8s\n", "window", "joins", "leaves", "total")
+	for i := range pop {
+		fmt.Printf("%-10s %8d %8d %8d\n", time.Duration(i)*(*bucket), joins[i], leaves[i], pop[i])
+	}
+	fmt.Printf("# events=%d duration=%s peak-slot=%d\n", len(tr), tr.Duration(), tr.MaxSlot())
+}
+
+func overnet(args []string) {
+	fs := flag.NewFlagSet("overnet", flag.ExitOnError)
+	nodes := fs.Int("nodes", 620, "target concurrent population")
+	minutes := fs.Int("minutes", 50, "trace length")
+	seed := fs.Int64("seed", 12, "random seed")
+	fs.Parse(args) //nolint:errcheck
+	cfg := workload.DefaultOvernet()
+	cfg.Nodes = *nodes
+	cfg.Duration = time.Duration(*minutes) * time.Minute
+	cfg.Seed = *seed
+	if err := churn.WriteTrace(os.Stdout, workload.OvernetTrace(cfg)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Command splay-experiments regenerates the paper's evaluation: every
+// figure and table of §5 as a runnable experiment printing the same
+// rows/series (see DESIGN.md for the index and EXPERIMENTS.md for the
+// recorded results).
+//
+// Usage:
+//
+//	splay-experiments -list
+//	splay-experiments -run fig6a [-scale 0.5] [-seed 2009]
+//	splay-experiments -run all -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/splaykit/splay/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id, or 'all'")
+	scale := flag.Float64("scale", 1.0, "population/workload scale in (0,1]")
+	seed := flag.Int64("seed", 2009, "random seed")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+		if *run == "" {
+			os.Exit(0)
+		}
+	}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (scale %.2f) ===\n", id, *scale)
+		res, err := experiments.Run(id, experiments.Options{
+			Scale: *scale, Seed: *seed, Out: os.Stdout,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("metric %-28s %.3f\n", k, res.Metrics[k])
+		}
+		fmt.Printf("=== %s done in %s ===\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

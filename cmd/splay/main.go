@@ -1,0 +1,98 @@
+// Command splay is the command-line client for the controller's
+// web-services API.
+//
+// Usage:
+//
+//	splay [-ctl http://127.0.0.1:8080] run -app chord -nodes 10 [-params '{"bits":24}']
+//	splay status <job-id>
+//	splay stop <job-id>
+//	splay daemons
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	ctl := flag.String("ctl", "http://127.0.0.1:8080", "controller API base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "run":
+		runCmd(*ctl, args[1:])
+	case "status":
+		if len(args) != 2 {
+			usage()
+		}
+		get(*ctl + "/jobs?id=" + args[1])
+	case "stop":
+		if len(args) != 2 {
+			usage()
+		}
+		get(*ctl + "/jobs/stop?id=" + args[1])
+	case "daemons":
+		get(*ctl + "/daemons")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: splay [-ctl URL] run|status|stop|daemons …")
+	os.Exit(2)
+}
+
+func runCmd(ctl string, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	app := fs.String("app", "", "registered application name")
+	nodes := fs.Int("nodes", 1, "number of instances")
+	params := fs.String("params", "", "JSON application parameters")
+	superset := fs.Float64("superset", 0, "selection superset factor (default 1.25)")
+	fullList := fs.Bool("full-list", false, "ship the full node list as bootstrap")
+	fs.Parse(args) //nolint:errcheck
+	if *app == "" {
+		log.Fatal("splay run: -app is required")
+	}
+	body := map[string]any{
+		"app": *app, "nodes": *nodes,
+		"superset": *superset, "full_list": *fullList,
+	}
+	if *params != "" {
+		body["params"] = json.RawMessage(*params)
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		log.Fatalf("splay: %v", err)
+	}
+	resp, err := http.Post(ctl+"/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatalf("splay: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("splay: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}

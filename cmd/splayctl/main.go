@@ -1,0 +1,117 @@
+// Command splayctl runs the SPLAY controller: it accepts daemon
+// connections, exposes the web-services API for job submission, and
+// orchestrates deployments (§3.1).
+//
+// Usage:
+//
+//	splayctl [-port 5555] [-http 8080] [-host 127.0.0.1] [-tls]
+//
+// Submit jobs with the splay CLI or plain HTTP:
+//
+//	curl -X POST localhost:8080/jobs -d '{"app":"chord","nodes":10}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/splaykit/splay/internal/controller"
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/livenet"
+)
+
+func main() {
+	port := flag.Int("port", 5555, "daemon connection port")
+	httpPort := flag.Int("http", 8080, "web-services API port (0 disables)")
+	host := flag.String("host", "127.0.0.1", "advertised controller host")
+	useTLS := flag.Bool("tls", false, "secure daemon connections with TLS")
+	flag.Parse()
+
+	rt := core.NewLiveRuntime(1)
+	node := livenet.NewNode(*host)
+	if *useTLS {
+		cfg, err := livenet.SelfSignedTLS(*host)
+		if err != nil {
+			log.Fatalf("splayctl: tls: %v", err)
+		}
+		node.TLS = cfg
+	}
+	cfg := controller.DefaultConfig()
+	cfg.Port = *port
+	ctl := controller.New(rt, node, cfg)
+	if err := ctl.Start(); err != nil {
+		log.Fatalf("splayctl: %v", err)
+	}
+	log.Printf("splayctl: listening for daemons on :%d (tls=%v)", *port, *useTLS)
+
+	if *httpPort == 0 {
+		select {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/daemons", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int{"daemons": ctl.Daemons()}) //nolint:errcheck
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req struct {
+				App      string          `json:"app"`
+				Nodes    int             `json:"nodes"`
+				Params   json.RawMessage `json:"params"`
+				Superset float64         `json:"superset"`
+				FullList bool            `json:"full_list"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			job, err := ctl.Submit(controller.JobSpec{
+				App: req.App, Nodes: req.Nodes, Params: req.Params,
+				Superset: req.Superset, FullList: req.FullList,
+			})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			writeJob(w, job)
+		case http.MethodGet:
+			id := r.URL.Query().Get("id")
+			job, ok := ctl.Job(id)
+			if !ok {
+				http.Error(w, "unknown job", http.StatusNotFound)
+				return
+			}
+			writeJob(w, job)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/jobs/stop", func(w http.ResponseWriter, r *http.Request) {
+		if err := ctl.StopJob(r.URL.Query().Get("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintln(w, "stopped")
+	})
+	log.Printf("splayctl: web-services API on :%d", *httpPort)
+	if err := http.ListenAndServe(fmt.Sprintf(":%d", *httpPort), mux); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func writeJob(w http.ResponseWriter, job *controller.JobStatus) {
+	out := map[string]any{
+		"id": job.ID, "state": job.State.String(), "error": job.Err,
+	}
+	var nodes []string
+	for _, a := range job.Deployed {
+		nodes = append(nodes, a.String())
+	}
+	out["nodes"] = nodes
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}

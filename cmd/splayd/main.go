@@ -1,0 +1,64 @@
+// Command splayd runs a SPLAY daemon on a testbed host: it connects to
+// the controller, accepts jobs and hosts sandboxed application instances
+// (§3.1). Applications come from the built-in registry (chord, pastry,
+// cyclon, epidemic, bittorrent).
+//
+// Usage:
+//
+//	splayd -controller 127.0.0.1:5555 -name host-a [-tls]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"github.com/splaykit/splay/internal/apps"
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/daemon"
+	"github.com/splaykit/splay/internal/livenet"
+	"github.com/splaykit/splay/internal/logging"
+	"github.com/splaykit/splay/internal/sandbox"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func main() {
+	ctlAddr := flag.String("controller", "127.0.0.1:5555", "controller address")
+	name := flag.String("name", "127.0.0.1", "daemon name (advertised host)")
+	useTLS := flag.Bool("tls", false, "secure the controller link with TLS")
+	maxSockets := flag.Int("max-sockets", 0, "per-app socket limit (0 = unlimited)")
+	maxTx := flag.Int64("max-tx", 0, "per-app lifetime egress bytes (0 = unlimited)")
+	flag.Parse()
+
+	addr, err := transport.ParseAddr(*ctlAddr)
+	if err != nil {
+		log.Fatalf("splayd: %v", err)
+	}
+	rt := core.NewLiveRuntime(time.Now().UnixNano())
+	node := livenet.NewNode(*name)
+	if *useTLS {
+		cfg, err := livenet.SelfSignedTLS(*name)
+		if err != nil {
+			log.Fatalf("splayd: tls: %v", err)
+		}
+		node.TLS = cfg
+	}
+	cfg := daemon.DefaultConfig(*name)
+	cfg.Net = sandbox.NetLimits{MaxSockets: *maxSockets, MaxTxBytes: *maxTx}
+	lg := logging.New(&logging.WriterSink{W: os.Stdout}, *name, cfg.Key, nil)
+	d := daemon.New(rt, node, apps.Default(), cfg, lg)
+
+	for {
+		if err := d.Connect(addr); err != nil {
+			log.Printf("splayd: %v (retrying in 5s)", err)
+			time.Sleep(5 * time.Second)
+			continue
+		}
+		log.Printf("splayd %s: connected to %s", *name, addr)
+		for d.Connected() {
+			time.Sleep(time.Second)
+		}
+		log.Printf("splayd %s: connection lost, reconnecting", *name)
+	}
+}

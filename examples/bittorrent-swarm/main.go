@@ -1,0 +1,75 @@
+// bittorrent-swarm distributes a file through a simulated BitTorrent
+// swarm — the paper's motivating short-lifetime deployment ("distributing
+// a large file using BitTorrent", §1) — and prints completion times.
+//
+//	go run ./examples/bittorrent-swarm
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/bittorrent"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func main() {
+	const leechers = 15
+	torrent := bittorrent.Torrent{Name: "ubuntu.iso", Size: 8 << 20, PieceSize: 128 << 10}
+
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 40 * time.Millisecond, Bps: 1 << 20}, leechers+2, 7)
+	rt := core.NewSimRuntime(k, 7)
+	mk := func(i int) *core.AppContext {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 6881}
+		return core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
+	}
+	tracker := bittorrent.NewTracker(mk(0))
+	trackerAddr := transport.Addr{Host: "n0", Port: 6881}
+	seed := bittorrent.NewPeer(mk(1), torrent, trackerAddr, true, bittorrent.DefaultConfig())
+	var peers []*bittorrent.Peer
+	for i := 0; i < leechers; i++ {
+		peers = append(peers, bittorrent.NewPeer(mk(i+2), torrent, trackerAddr, false, bittorrent.DefaultConfig()))
+	}
+	k.Go(func() {
+		if err := tracker.Start(); err != nil {
+			log.Fatal(err)
+		}
+		if err := seed.Start(); err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range peers {
+			if err := p.Start(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	k.RunFor(30 * time.Minute)
+
+	fmt.Printf("swarm: 1 seed + %d leechers, %d MB file, 1 MB/s links\n",
+		leechers, torrent.Size>>20)
+	var times []time.Duration
+	for _, p := range peers {
+		if p.CompletedAt.IsZero() {
+			fmt.Println("  a peer did not finish!")
+			continue
+		}
+		times = append(times, p.CompletedAt.Sub(sim.Epoch))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i, t := range times {
+		fmt.Printf("  completion %2d: %8s\n", i+1, t.Round(time.Second))
+	}
+	up := seed.Uploaded
+	var peerUp int
+	for _, p := range peers {
+		peerUp += p.Uploaded
+	}
+	fmt.Printf("seed served %d MB, leechers exchanged %d MB among themselves\n",
+		up>>20, peerUp>>20)
+}

@@ -1,0 +1,81 @@
+// chord-lookup deploys a converged Chord ring on a simulated ModelNet
+// cluster (the §5.2 setting) and reports route lengths and delays — a
+// miniature of Fig. 6.
+//
+//	go run ./examples/chord-lookup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/chord"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/stats"
+	"github.com/splaykit/splay/internal/topology"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func main() {
+	const n = 200
+	k := sim.NewKernel()
+	model := topology.NewModelNet(topology.DefaultModelNet(n))
+	nw := simnet.New(k, model, n, 42)
+	rt := core.NewSimRuntime(k, 42)
+	rng := rand.New(rand.NewSource(42))
+
+	var nodes []*chord.Node
+	for i := 0; i < n; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 8000}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr, Position: i + 1}, nil)
+		cfg := chord.DefaultConfig()
+		id := uint64(rng.Intn(1 << 24))
+		cfg.ID = &id
+		node, err := chord.New(ctx, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	k.Go(func() {
+		for _, node := range nodes {
+			if err := node.Start(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	k.Run()
+	if err := chord.BuildRing(nodes, chord.BuildOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	hist := &stats.IntHistogram{}
+	var delays stats.Durations
+	k.Go(func() {
+		for i := 0; i < 2000; i++ {
+			src := nodes[rng.Intn(len(nodes))]
+			res, err := src.Lookup(uint64(rng.Intn(1 << 24)))
+			if err != nil {
+				continue
+			}
+			hist.Add(res.Hops)
+			delays = append(delays, res.RTT)
+		}
+	})
+	k.Run()
+
+	fmt.Printf("Chord on simulated ModelNet: %d nodes, %d lookups\n", n, hist.Total())
+	fmt.Printf("mean route length: %.2f hops (½·log2 N = %.2f)\n", hist.Mean(), 3.82)
+	for h, p := range hist.PDF() {
+		if p > 0 {
+			fmt.Printf("  %d hops: %5.1f%%\n", h, p*100)
+		}
+	}
+	for _, p := range []float64{50, 90, 99} {
+		fmt.Printf("p%.0f lookup delay: %s\n", p, delays.Percentile(p).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,105 @@
+// webcache runs the §5.7 cooperative web cache on a simulated cluster
+// under a Zipf request stream and prints the evolving hit ratio and
+// delays — a miniature of Fig. 14.
+//
+//	go run ./examples/webcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/protocols/webcache"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/stats"
+	"github.com/splaykit/splay/internal/transport"
+	"github.com/splaykit/splay/internal/workload"
+)
+
+func main() {
+	const nodes = 32
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 10 * time.Millisecond, Bps: 12.5e6}, nodes, 3)
+	rt := core.NewSimRuntime(k, 3)
+
+	var pnodes []*pastry.Node
+	var caches []*webcache.Cache
+	for i := 0; i < nodes; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 9000}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
+		p := pastry.New(ctx, pastry.DefaultConfig())
+		pnodes = append(pnodes, p)
+		caches = append(caches, webcache.New(ctx, p, webcache.DefaultConfig()))
+	}
+	k.Go(func() {
+		for i := range pnodes {
+			if err := pnodes[i].Start(); err != nil {
+				log.Fatal(err)
+			}
+			if err := caches[i].Start(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	k.Run()
+	if err := pastry.BuildNetwork(pnodes, pastry.BuildOptions{Seed: 3}); err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := workload.NewWebRequests(workload.WebConfig{
+		URLs: 5000, ZipfS: 1.22, RatePerSec: 50, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const window = 5 * time.Minute
+	type bucket struct {
+		hits, total int
+		delays      stats.Durations
+	}
+	buckets := map[int]*bucket{}
+	k.Go(func() {
+		prev := time.Duration(0)
+		for i := 0; ; i++ {
+			at, url := gen.Next()
+			if at > 30*time.Minute {
+				return
+			}
+			k.Sleep(at - prev)
+			prev = at
+			res, err := caches[i%nodes].Get(url)
+			if err != nil {
+				continue
+			}
+			b := buckets[int(at/window)]
+			if b == nil {
+				b = &bucket{}
+				buckets[int(at/window)] = b
+			}
+			b.total++
+			if res.Hit {
+				b.hits++
+			}
+			b.delays = append(b.delays, res.Delay)
+		}
+	})
+	k.RunFor(31 * time.Minute)
+
+	fmt.Printf("cooperative web cache: %d nodes, LRU(100), TTL 120s, 50 req/s\n", nodes)
+	fmt.Printf("%-10s %8s %10s %10s\n", "window", "hit%", "p50", "p95")
+	for i := 0; i < 6; i++ {
+		b := buckets[i]
+		if b == nil || b.total == 0 {
+			continue
+		}
+		fmt.Printf("%-10s %7.1f%% %10s %10s\n",
+			time.Duration(i)*window,
+			float64(b.hits)/float64(b.total)*100,
+			b.delays.Percentile(50).Round(time.Millisecond),
+			b.delays.Percentile(95).Round(time.Millisecond))
+	}
+}

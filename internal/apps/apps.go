@@ -1,0 +1,228 @@
+// Package apps packages the protocol implementations as deployable SPLAY
+// applications: each registers a factory that builds the protocol from
+// JSON job parameters and runs it against the instance's job information
+// (rendez-vous bootstrap, staggered joins by deployment position) — the
+// role Lua scripts play in the original system.
+package apps
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/bittorrent"
+	"github.com/splaykit/splay/internal/protocols/chord"
+	"github.com/splaykit/splay/internal/protocols/cyclon"
+	"github.com/splaykit/splay/internal/protocols/epidemic"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+)
+
+// Register installs every built-in application into the registry.
+func Register(reg *core.Registry) {
+	reg.Register("chord", chordFactory)
+	reg.Register("pastry", pastryFactory)
+	reg.Register("cyclon", cyclonFactory)
+	reg.Register("epidemic", epidemicFactory)
+	reg.Register("bittorrent", bittorrentFactory)
+}
+
+// Default returns a registry with all built-in applications.
+func Default() *core.Registry {
+	reg := core.NewRegistry()
+	Register(reg)
+	return reg
+}
+
+// runUntilKilled parks the app's main task while background tasks work.
+func runUntilKilled(ctx *core.AppContext) {
+	for !ctx.Killed() {
+		ctx.Sleep(5 * time.Second)
+	}
+}
+
+// ChordParams configures the "chord" application.
+type ChordParams struct {
+	Bits          uint `json:"bits"`
+	FaultTolerant bool `json:"fault_tolerant"`
+	LookupsPerMin int  `json:"lookups_per_min"`
+}
+
+func chordFactory(params json.RawMessage) (core.App, error) {
+	var p ChordParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("chord app: %w", err)
+		}
+	}
+	return core.AppFunc(func(ctx *core.AppContext) error {
+		cfg := chord.DefaultConfig()
+		if p.FaultTolerant {
+			cfg = chord.FaultTolerantConfig()
+		}
+		if p.Bits > 0 {
+			cfg.Bits = p.Bits
+		}
+		n, err := chord.New(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if err := n.Start(); err != nil {
+			return err
+		}
+		// Staggered joins, one second apart, as in §5.2's descriptor.
+		ctx.Sleep(time.Duration(ctx.Job.Position) * time.Second)
+		if ctx.Job.Position > 1 && len(ctx.Job.Nodes) > 0 {
+			if err := n.Join(ctx.Job.Nodes[0]); err != nil {
+				ctx.Log.Printf("chord join failed: %v", err)
+			}
+		}
+		n.StartMaintenance()
+		if p.LookupsPerMin > 0 {
+			ctx.Periodic(time.Minute/time.Duration(p.LookupsPerMin), func() {
+				key := ctx.Rand().Uint64()
+				if res, err := n.Lookup(key); err == nil {
+					ctx.Log.Printf("lookup %d -> %s in %d hops (%s)", key, res.Node, res.Hops, res.RTT)
+				}
+			})
+		}
+		runUntilKilled(ctx)
+		n.Stop()
+		return nil
+	}), nil
+}
+
+// PastryParams configures the "pastry" application.
+type PastryParams struct {
+	LookupsPerMin int `json:"lookups_per_min"`
+}
+
+func pastryFactory(params json.RawMessage) (core.App, error) {
+	var p PastryParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("pastry app: %w", err)
+		}
+	}
+	return core.AppFunc(func(ctx *core.AppContext) error {
+		n := pastry.New(ctx, pastry.DefaultConfig())
+		if err := n.Start(); err != nil {
+			return err
+		}
+		ctx.Sleep(time.Duration(ctx.Job.Position) * time.Second)
+		if ctx.Job.Position > 1 && len(ctx.Job.Nodes) > 0 {
+			if err := n.Join(ctx.Job.Nodes[0]); err != nil {
+				ctx.Log.Printf("pastry join failed: %v", err)
+			}
+		}
+		n.StartMaintenance()
+		if p.LookupsPerMin > 0 {
+			ctx.Periodic(time.Minute/time.Duration(p.LookupsPerMin), func() {
+				key := pastry.ID(ctx.Rand().Uint64())
+				if res, err := n.Route(key); err == nil {
+					ctx.Log.Printf("route %s -> %s in %d hops (%s)", key, res.Root, res.Hops, res.RTT)
+				}
+			})
+		}
+		runUntilKilled(ctx)
+		n.Stop()
+		return nil
+	}), nil
+}
+
+func cyclonFactory(params json.RawMessage) (core.App, error) {
+	return core.AppFunc(func(ctx *core.AppContext) error {
+		n := cyclon.New(ctx, cyclon.DefaultConfig())
+		if err := n.Start(ctx.Job.Nodes); err != nil {
+			return err
+		}
+		runUntilKilled(ctx)
+		n.Stop()
+		return nil
+	}), nil
+}
+
+// EpidemicParams configures the "epidemic" application.
+type EpidemicParams struct {
+	Fanout    int  `json:"fanout"`
+	Originate bool `json:"originate"` // position-1 instance broadcasts
+}
+
+func epidemicFactory(params json.RawMessage) (core.App, error) {
+	var p EpidemicParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("epidemic app: %w", err)
+		}
+	}
+	return core.AppFunc(func(ctx *core.AppContext) error {
+		cfg := epidemic.DefaultConfig()
+		if p.Fanout > 0 {
+			cfg.Fanout = p.Fanout
+		}
+		n := epidemic.New(ctx, cfg, ctx.Job.Nodes)
+		if err := n.Start(); err != nil {
+			return err
+		}
+		if p.Originate && ctx.Job.Position == 1 {
+			ctx.After(10*time.Second, func() {
+				n.Broadcast("rumor-1", []byte("hello from the rendez-vous"))
+			})
+		}
+		runUntilKilled(ctx)
+		n.Stop()
+		return nil
+	}), nil
+}
+
+// BitTorrentParams configures the "bittorrent" application: position 1
+// runs the tracker, position 2 the initial seed, everyone else leeches.
+type BitTorrentParams struct {
+	Size      int `json:"size"`
+	PieceSize int `json:"piece_size"`
+}
+
+func bittorrentFactory(params json.RawMessage) (core.App, error) {
+	var p BitTorrentParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bittorrent app: %w", err)
+		}
+	}
+	if p.Size <= 0 {
+		p.Size = 4 << 20
+	}
+	if p.PieceSize <= 0 {
+		p.PieceSize = 64 << 10
+	}
+	return core.AppFunc(func(ctx *core.AppContext) error {
+		torrent := bittorrent.Torrent{Name: ctx.Job.JobID, Size: p.Size, PieceSize: p.PieceSize}
+		if ctx.Job.Position == 1 {
+			tr := bittorrent.NewTracker(ctx)
+			if err := tr.Start(); err != nil {
+				return err
+			}
+			runUntilKilled(ctx)
+			return nil
+		}
+		if len(ctx.Job.Nodes) == 0 {
+			return fmt.Errorf("bittorrent app: no tracker address")
+		}
+		peer := bittorrent.NewPeer(ctx, torrent, ctx.Job.Nodes[0], ctx.Job.Position == 2, bittorrent.DefaultConfig())
+		if err := peer.Start(); err != nil {
+			return err
+		}
+		for !ctx.Killed() {
+			ctx.Sleep(5 * time.Second)
+			if peer.Complete() {
+				ctx.Log.Printf("download complete (%d pieces)", peer.Pieces())
+				break
+			}
+		}
+		for !ctx.Killed() { // keep seeding
+			ctx.Sleep(10 * time.Second)
+		}
+		peer.Stop()
+		return nil
+	}), nil
+}

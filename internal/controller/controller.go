@@ -1,0 +1,563 @@
+// Package controller implements splayctl, the trusted entity that
+// controls deployment and execution of SPLAY applications (§3.1): it
+// tracks daemons through sessions, selects deployment targets by
+// responsiveness with superset probing, drives the job state machine
+// (idle → selected → running), manages the blacklist, and hosts the log
+// collector.
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/ctlproto"
+	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Port accepts daemon connections.
+	Port int
+	// DefaultSuperset is the fraction of extra daemons probed per job
+	// (the paper settles on 1.25 as the default, §5.6).
+	DefaultSuperset float64
+	// RegisterTimeout bounds how long selection waits for slow daemons.
+	RegisterTimeout time.Duration
+	// UnseenAfter expires daemons that stop showing activity (the
+	// paper's long-term disconnection threshold, typically one hour).
+	UnseenAfter time.Duration
+	// PingEvery is the session keep-alive/monitoring period.
+	PingEvery time.Duration
+	// Blacklist is the initial set of forbidden address patterns; the
+	// controller's own host is always appended so applications cannot
+	// actively connect to it.
+	Blacklist []string
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		Port:            5555,
+		DefaultSuperset: 1.25,
+		RegisterTimeout: 30 * time.Second,
+		UnseenAfter:     time.Hour,
+		PingEvery:       30 * time.Second,
+	}
+}
+
+// JobState is the §3.1 state machine.
+type JobState int
+
+// Job states.
+const (
+	JobIdle JobState = iota
+	JobSelected
+	JobRunning
+	JobDone
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobIdle:
+		return "idle"
+	case JobSelected:
+		return "selected"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// JobSpec is a submission: deploy N instances of a registered app.
+type JobSpec struct {
+	App      string
+	Params   []byte
+	Nodes    int
+	Superset float64 // 0 uses the controller default
+	// FullList ships the whole deployment list as job.nodes instead of a
+	// single rendez-vous node (the controller chooses "a single
+	// rendez-vous node or a random subset, depending on the
+	// application", §3.1).
+	FullList bool
+}
+
+// JobStatus reports a job's progress.
+type JobStatus struct {
+	ID        string
+	State     JobState
+	Deployed  []transport.Addr
+	Err       string
+	StartedAt time.Time
+}
+
+// daemonSession is the controller's view of one connected daemon.
+type daemonSession struct {
+	name  string
+	conn  transport.Conn
+	enc   *llenc.Writer
+	wlock *core.Lock
+
+	mu       sync.Mutex // guards the fields below under LiveRuntime
+	lastSeen time.Time
+	rtt      time.Duration // last measured responsiveness
+	nextSeq  uint64
+	pending  map[uint64]core.Waiter
+	gone     bool
+}
+
+// Controller is a running splayctl instance.
+type Controller struct {
+	rt   core.Runtime
+	node transport.Node
+	cfg  Config
+
+	mu        sync.Mutex // guards daemons/jobs/blacklist under LiveRuntime
+	ln        transport.Listener
+	daemons   map[string]*daemonSession
+	jobs      map[string]*JobStatus
+	blacklist []string
+	jobSeq    int
+	stops     []func()
+}
+
+// New creates a controller on the given runtime and network stack.
+func New(rt core.Runtime, node transport.Node, cfg Config) *Controller {
+	if cfg.Port == 0 {
+		cfg.Port = 5555
+	}
+	if cfg.DefaultSuperset <= 1 {
+		cfg.DefaultSuperset = 1.25
+	}
+	if cfg.RegisterTimeout <= 0 {
+		cfg.RegisterTimeout = 30 * time.Second
+	}
+	if cfg.UnseenAfter <= 0 {
+		cfg.UnseenAfter = time.Hour
+	}
+	if cfg.PingEvery <= 0 {
+		cfg.PingEvery = 30 * time.Second
+	}
+	cfg.Blacklist = append(cfg.Blacklist, node.Host())
+	return &Controller{
+		rt: rt, node: node, cfg: cfg,
+		daemons: make(map[string]*daemonSession),
+		jobs:    make(map[string]*JobStatus),
+	}
+}
+
+// Start listens for daemons and begins session monitoring.
+func (c *Controller) Start() error {
+	ln, err := c.node.Listen(c.cfg.Port)
+	if err != nil {
+		return fmt.Errorf("controller: listen: %w", err)
+	}
+	c.ln = ln
+	c.rt.Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.rt.Go(func() { c.serveDaemon(conn) })
+		}
+	})
+	// The unseen process: expire daemons after long-term disconnection;
+	// the monitor ping doubles as the session activity signal.
+	stopMon := c.periodic(c.cfg.PingEvery, c.monitor)
+	c.stops = append(c.stops, stopMon)
+	return nil
+}
+
+// periodic is a minimal runtime-periodic helper for controller loops.
+func (c *Controller) periodic(every time.Duration, fn func()) (stop func()) {
+	stopped := false
+	var tick func()
+	var cancel func()
+	tick = func() {
+		cancel = c.rt.After(every, func() {
+			if stopped {
+				return
+			}
+			c.rt.Go(fn)
+			tick()
+		})
+	}
+	tick()
+	return func() {
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// Stop closes the controller.
+func (c *Controller) Stop() {
+	for _, stop := range c.stops {
+		stop()
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	for _, d := range c.daemons {
+		d.conn.Close()
+	}
+}
+
+// Daemons returns the connected daemon count.
+func (c *Controller) Daemons() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.daemons)
+}
+
+// snapshot copies the live daemon sessions.
+func (c *Controller) snapshot() []*daemonSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*daemonSession, 0, len(c.daemons))
+	for _, d := range c.daemons {
+		out = append(out, d)
+	}
+	return out
+}
+
+// SetBlacklist replaces the blacklist and pushes the update to every
+// connected daemon (piggybacked in its own message here).
+func (c *Controller) SetBlacklist(patterns []string) {
+	c.mu.Lock()
+	c.blacklist = append(patterns, c.node.Host())
+	blk := append([]string(nil), c.blacklist...)
+	c.mu.Unlock()
+	for _, d := range c.snapshot() {
+		d := d
+		c.rt.Go(func() { c.send(d, &ctlproto.Msg{Type: ctlproto.TBlacklist, Hosts: blk}) }) //nolint:errcheck
+	}
+}
+
+// serveDaemon handles one daemon connection for its lifetime.
+func (c *Controller) serveDaemon(conn transport.Conn) {
+	defer conn.Close()
+	dec := llenc.NewReader(conn)
+	var hello ctlproto.Msg
+	if err := dec.Decode(&hello); err != nil || hello.Type != ctlproto.THello || hello.Name == "" {
+		return
+	}
+	d := &daemonSession{
+		name:     hello.Name,
+		conn:     conn,
+		enc:      llenc.NewWriter(conn),
+		wlock:    core.NewLock(c.rt),
+		lastSeen: c.rt.Now(),
+		pending:  make(map[uint64]core.Waiter),
+	}
+	c.mu.Lock()
+	if old, ok := c.daemons[hello.Name]; ok {
+		old.mu.Lock()
+		old.gone = true
+		old.mu.Unlock()
+		old.conn.Close()
+	}
+	c.daemons[hello.Name] = d
+	blk := append(append([]string(nil), c.cfg.Blacklist...), c.blacklist...)
+	c.mu.Unlock()
+	c.send(d, &ctlproto.Msg{Type: ctlproto.TWelcome, Hosts: blk}) //nolint:errcheck
+
+	for {
+		var m ctlproto.Msg
+		if err := dec.Decode(&m); err != nil {
+			break
+		}
+		d.mu.Lock()
+		d.lastSeen = c.rt.Now()
+		w, ok := d.pending[m.Seq]
+		if ok {
+			delete(d.pending, m.Seq)
+		}
+		d.mu.Unlock()
+		if ok {
+			w.Wake(m)
+		}
+	}
+	d.mu.Lock()
+	d.gone = true
+	orphans := make([]core.Waiter, 0, len(d.pending))
+	for seq, w := range d.pending {
+		delete(d.pending, seq)
+		orphans = append(orphans, w)
+	}
+	d.mu.Unlock()
+	c.mu.Lock()
+	if c.daemons[hello.Name] == d {
+		delete(c.daemons, hello.Name)
+	}
+	c.mu.Unlock()
+	for _, w := range orphans {
+		w.Wake(fmt.Errorf("controller: daemon %s disconnected", d.name))
+	}
+}
+
+func (c *Controller) send(d *daemonSession, m *ctlproto.Msg) error {
+	d.wlock.Lock()
+	defer d.wlock.Unlock()
+	return d.enc.Encode(m)
+}
+
+// call sends a command and waits for the daemon's answer.
+func (c *Controller) call(d *daemonSession, m *ctlproto.Msg, timeout time.Duration) (ctlproto.Msg, error) {
+	d.mu.Lock()
+	if d.gone {
+		d.mu.Unlock()
+		return ctlproto.Msg{}, fmt.Errorf("controller: daemon %s gone", d.name)
+	}
+	d.nextSeq++
+	m.Seq = d.nextSeq
+	w := c.rt.NewWaiter()
+	w.WakeAfter(timeout, error(transport.ErrTimeout))
+	d.pending[m.Seq] = w
+	d.mu.Unlock()
+	if err := c.send(d, m); err != nil {
+		d.mu.Lock()
+		delete(d.pending, m.Seq)
+		d.mu.Unlock()
+		return ctlproto.Msg{}, err
+	}
+	switch v := w.Wait().(type) {
+	case ctlproto.Msg:
+		if v.Type == ctlproto.TErr {
+			return v, fmt.Errorf("controller: daemon %s: %s", d.name, v.Err)
+		}
+		return v, nil
+	case error:
+		d.mu.Lock()
+		delete(d.pending, m.Seq)
+		d.mu.Unlock()
+		return ctlproto.Msg{}, v
+	}
+	return ctlproto.Msg{}, fmt.Errorf("controller: internal wake type")
+}
+
+// monitor pings every daemon (recording responsiveness) and expires the
+// unseen.
+func (c *Controller) monitor() {
+	now := c.rt.Now()
+	for _, d := range c.snapshot() {
+		d.mu.Lock()
+		stale := now.Sub(d.lastSeen) > c.cfg.UnseenAfter
+		if stale {
+			d.gone = true
+		}
+		d.mu.Unlock()
+		if stale {
+			// Long-term disconnection: reset the daemon's state.
+			d.conn.Close()
+			c.mu.Lock()
+			if c.daemons[d.name] == d {
+				delete(c.daemons, d.name)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		d := d
+		c.rt.Go(func() {
+			start := c.rt.Now()
+			if _, err := c.call(d, &ctlproto.Msg{Type: ctlproto.TPing}, c.cfg.PingEvery); err == nil {
+				d.mu.Lock()
+				d.rtt = c.rt.Now().Sub(start)
+				d.mu.Unlock()
+			}
+		})
+	}
+}
+
+// Submit deploys a job: probe a superset of daemons with REGISTER, keep
+// the fastest responders, ship the bootstrap LIST and START execution,
+// and FREE the supernumeraries (§3.1). It blocks until the job runs or
+// fails and returns its status.
+func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("controller: job needs nodes")
+	}
+	superset := spec.Superset
+	if superset <= 1 {
+		superset = c.cfg.DefaultSuperset
+	}
+	c.mu.Lock()
+	c.jobSeq++
+	job := &JobStatus{ID: fmt.Sprintf("job-%d", c.jobSeq), State: JobIdle}
+	c.jobs[job.ID] = job
+	c.mu.Unlock()
+
+	// Candidate pool: every live daemon, capped at superset × request.
+	candidates := c.snapshot()
+	if len(candidates) < spec.Nodes {
+		job.State = JobFailed
+		job.Err = fmt.Sprintf("need %d daemons, have %d", spec.Nodes, len(candidates))
+		return job, fmt.Errorf("controller: %s", job.Err)
+	}
+	// Prefer the most responsive daemons from monitoring, then cap.
+	sortByRTT(candidates)
+	probeN := int(float64(spec.Nodes) * superset)
+	if probeN > len(candidates) {
+		probeN = len(candidates)
+	}
+	candidates = candidates[:probeN]
+
+	// REGISTER with the whole superset; the first Nodes acks win. The
+	// acks accumulate under a plain mutex (no yields inside) and a
+	// waiter unblocks the submitter as soon as enough daemons answered,
+	// or at the timeout.
+	type regResult struct {
+		d    *daemonSession
+		port int
+	}
+	var mu sync.Mutex
+	var acks []regResult
+	answered := 0
+	closed := false
+	done := c.rt.NewWaiter()
+	done.WakeAfter(c.cfg.RegisterTimeout, nil)
+	desc := &ctlproto.Job{ID: job.ID, App: spec.App, Params: spec.Params}
+	for _, d := range candidates {
+		d := d
+		c.rt.Go(func() {
+			ans, err := c.call(d, &ctlproto.Msg{Type: ctlproto.TRegister, Job: desc}, c.cfg.RegisterTimeout)
+			mu.Lock()
+			answered++
+			late := closed
+			if err == nil && !late {
+				acks = append(acks, regResult{d: d, port: ans.Port})
+			}
+			enough := len(acks) >= spec.Nodes || answered == probeN
+			mu.Unlock()
+			if late && err == nil {
+				// Selection already happened: release the straggler.
+				c.call(d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+				return
+			}
+			if enough {
+				done.Wake(nil)
+			}
+		})
+	}
+	done.Wait()
+	mu.Lock()
+	closed = true
+	var selected, spare []regResult
+	for _, r := range acks {
+		if len(selected) < spec.Nodes {
+			selected = append(selected, r)
+		} else {
+			spare = append(spare, r)
+		}
+	}
+	mu.Unlock()
+	// Supernumerary daemons are released immediately.
+	for _, r := range spare {
+		r := r
+		c.rt.Go(func() {
+			c.call(r.d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+		})
+	}
+	if len(selected) < spec.Nodes {
+		for _, r := range selected {
+			r := r
+			c.rt.Go(func() {
+				c.call(r.d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+			})
+		}
+		job.State = JobFailed
+		job.Err = fmt.Sprintf("only %d/%d daemons accepted", len(selected), spec.Nodes)
+		return job, fmt.Errorf("controller: %s", job.Err)
+	}
+	job.State = JobSelected
+
+	// Bootstrap list: the first selected node is the rendez-vous.
+	var addrs []transport.Addr
+	for _, r := range selected {
+		addrs = append(addrs, transport.Addr{Host: r.d.name, Port: r.port})
+	}
+	bootstrap := addrs[:1]
+	if spec.FullList {
+		bootstrap = addrs
+	}
+	for i, r := range selected {
+		listJob := *desc
+		listJob.Position = i + 1
+		listJob.Nodes = bootstrap
+		if _, err := c.call(r.d, &ctlproto.Msg{Type: ctlproto.TList, Job: &listJob}, c.cfg.RegisterTimeout); err != nil {
+			job.State = JobFailed
+			job.Err = err.Error()
+			return job, err
+		}
+	}
+	for _, r := range selected {
+		if _, err := c.call(r.d, &ctlproto.Msg{Type: ctlproto.TStart, Job: desc}, c.cfg.RegisterTimeout); err != nil {
+			job.State = JobFailed
+			job.Err = err.Error()
+			return job, err
+		}
+	}
+	job.State = JobRunning
+	job.Deployed = addrs
+	job.StartedAt = c.rt.Now()
+	return job, nil
+}
+
+// StopJob terminates a running job everywhere.
+func (c *Controller) StopJob(id string) error {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("controller: unknown job %s", id)
+	}
+	desc := &ctlproto.Job{ID: id}
+	for _, addr := range job.Deployed {
+		c.mu.Lock()
+		d, ok := c.daemons[addr.Host]
+		c.mu.Unlock()
+		if ok {
+			c.call(d, &ctlproto.Msg{Type: ctlproto.TStop, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+		}
+	}
+	job.State = JobDone
+	return nil
+}
+
+// Job returns a job's status.
+func (c *Controller) Job(id string) (*JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func sortByRTT(ds []*daemonSession) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func less(a, b *daemonSession) bool {
+	a.mu.Lock()
+	ra := a.rtt
+	a.mu.Unlock()
+	b.mu.Lock()
+	rb := b.rtt
+	b.mu.Unlock()
+	// Unmeasured daemons (rtt 0) sort last.
+	if (ra == 0) != (rb == 0) {
+		return rb == 0
+	}
+	return ra < rb
+}

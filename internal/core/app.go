@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Logger is the minimal logging surface applications see; the logging
+// package provides implementations that print locally or stream to the
+// controller's log collector.
+type Logger interface {
+	Printf(format string, args ...any)
+}
+
+// NopLogger discards everything.
+type NopLogger struct{}
+
+// Printf implements Logger.
+func (NopLogger) Printf(format string, args ...any) {}
+
+// JobInfo is the deployment information every instance receives, matching
+// the paper's job table: the instance's own address (job.me), the
+// bootstrap list chosen by the controller (job.nodes, e.g. a single
+// rendez-vous node or a random subset) and the instance's 1-based rank in
+// the deployment sequence (job.position).
+type JobInfo struct {
+	JobID    string           `json:"job_id"`
+	Me       transport.Addr   `json:"me"`
+	Nodes    []transport.Addr `json:"nodes"`
+	Position int              `json:"position"`
+}
+
+// App is a deployable SPLAY application. Run executes the application's
+// main logic and returns when the application terminates or is killed;
+// long-running applications typically loop until ctx.Killed().
+type App interface {
+	Run(ctx *AppContext) error
+}
+
+// AppFunc adapts a function to the App interface.
+type AppFunc func(ctx *AppContext) error
+
+// Run implements App.
+func (f AppFunc) Run(ctx *AppContext) error { return f(ctx) }
+
+// AppContext is the sandboxed environment handed to a running instance:
+// scheduling, randomness, job information, logging, and the node's
+// network stack. It also owns the instance's lifecycle — killing the
+// context cancels periodic tasks and closes tracked sockets, which is how
+// the daemon (and the churn manager) stop instances.
+type AppContext struct {
+	rt   Runtime
+	node transport.Node
+
+	// Job describes this instance's deployment.
+	Job JobInfo
+	// Log receives the application's log output.
+	Log Logger
+
+	mu      sync.Mutex
+	killed  bool
+	cancels []func()
+	closers []io.Closer
+}
+
+// NewAppContext builds a context for one instance. A nil log defaults to
+// NopLogger.
+func NewAppContext(rt Runtime, node transport.Node, job JobInfo, log Logger) *AppContext {
+	if log == nil {
+		log = NopLogger{}
+	}
+	return &AppContext{rt: rt, node: node, Job: job, Log: log}
+}
+
+// Runtime returns the context's runtime.
+func (c *AppContext) Runtime() Runtime { return c.rt }
+
+// Node returns the instance's network stack.
+func (c *AppContext) Node() transport.Node { return c.node }
+
+// Now returns the current time.
+func (c *AppContext) Now() time.Time { return c.rt.Now() }
+
+// Sleep parks the calling task.
+func (c *AppContext) Sleep(d time.Duration) { c.rt.Sleep(d) }
+
+// Rand returns the runtime's random source.
+func (c *AppContext) Rand() *rand.Rand { return c.rt.Rand() }
+
+// NewWaiter returns a fresh waiter.
+func (c *AppContext) NewWaiter() Waiter { return c.rt.NewWaiter() }
+
+// NewLock returns a cooperative lock bound to the runtime.
+func (c *AppContext) NewLock() *Lock { return NewLock(c.rt) }
+
+// Killed reports whether the instance has been stopped.
+func (c *AppContext) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// Go starts fn as a task of this instance (the paper's events.thread).
+// After Kill, new tasks are silently dropped.
+func (c *AppContext) Go(fn func()) {
+	if c.Killed() {
+		return
+	}
+	c.rt.Go(func() {
+		if c.Killed() {
+			return
+		}
+		fn()
+	})
+}
+
+// After schedules fn once after d; it is canceled automatically on Kill.
+func (c *AppContext) After(d time.Duration, fn func()) (cancel func()) {
+	cancel = c.rt.After(d, func() {
+		if c.Killed() {
+			return
+		}
+		fn()
+	})
+	c.mu.Lock()
+	c.cancels = append(c.cancels, cancel)
+	c.mu.Unlock()
+	return cancel
+}
+
+// Periodic runs fn every interval until stopped or the instance is killed
+// (the paper's events.periodic). fn runs as a task, so it may block.
+func (c *AppContext) Periodic(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("core: non-positive periodic interval %s", interval))
+	}
+	stopped := false
+	var cancel func()
+	var tick func()
+	tick = func() {
+		if stopped || c.Killed() {
+			return
+		}
+		cancel = c.rt.After(interval, func() {
+			if stopped || c.Killed() {
+				return
+			}
+			c.Go(fn)
+			tick()
+		})
+	}
+	tick()
+	stopFn := func() {
+		stopped = true
+		if cancel != nil {
+			cancel()
+		}
+	}
+	c.mu.Lock()
+	c.cancels = append(c.cancels, stopFn)
+	c.mu.Unlock()
+	return stopFn
+}
+
+// Track registers a socket or other closer to be closed when the instance
+// is killed, and returns it for convenience.
+func (c *AppContext) Track(cl io.Closer) io.Closer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.killed {
+		cl.Close()
+		return cl
+	}
+	c.closers = append(c.closers, cl)
+	return cl
+}
+
+// Kill stops the instance: periodic and delayed tasks are canceled and
+// tracked sockets closed, waking any task blocked on them. Kill is
+// idempotent.
+func (c *AppContext) Kill() {
+	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return
+	}
+	c.killed = true
+	cancels, closers := c.cancels, c.closers
+	c.cancels, c.closers = nil, nil
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	for _, cl := range closers {
+		cl.Close()
+	}
+}
+
+// Instance is a running (or finished) application instance.
+type Instance struct {
+	Ctx *AppContext
+
+	mu   sync.Mutex
+	done bool
+	err  error
+}
+
+// StartInstance creates a context and runs app in a new task, mirroring a
+// daemon forking a sandboxed process.
+func StartInstance(rt Runtime, node transport.Node, job JobInfo, log Logger, app App) *Instance {
+	ctx := NewAppContext(rt, node, job, log)
+	inst := &Instance{Ctx: ctx}
+	rt.Go(func() {
+		err := app.Run(ctx)
+		inst.mu.Lock()
+		inst.done, inst.err = true, err
+		inst.mu.Unlock()
+	})
+	return inst
+}
+
+// Kill stops the instance.
+func (i *Instance) Kill() { i.Ctx.Kill() }
+
+// Done reports whether Run has returned, and its error.
+func (i *Instance) Done() (bool, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.done, i.err
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds an application instance from deployment parameters (a
+// JSON document supplied with the job, analogous to the arguments a SPLAY
+// job descriptor passes to the Lua script).
+type Factory func(params json.RawMessage) (App, error)
+
+// Registry maps application names to factories. The controller ships job
+// descriptors naming a registered application; daemons instantiate it.
+// This replaces SPLAY's deployment of Lua source code (see DESIGN.md,
+// substitutions).
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory under name; registering a duplicate name is a
+// programming error and panics.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("core: duplicate app registration %q", name))
+	}
+	r.factories[name] = f
+}
+
+// New instantiates the named application.
+func (r *Registry) New(name string, params json.RawMessage) (App, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown application %q", name)
+	}
+	return f(params)
+}
+
+// Names lists registered applications in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

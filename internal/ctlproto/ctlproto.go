@@ -1,0 +1,61 @@
+// Package ctlproto defines the controller↔daemon wire protocol: a simple
+// request/answer exchange over a daemon-initiated connection, framed by
+// llenc. The first message is the daemon's HELLO; every subsequent
+// exchange is a controller command (REGISTER, LIST, START, FREE, STOP,
+// PING) answered by the daemon, matching §3.1's minimal command set and
+// the job state machine idle → selected → running.
+package ctlproto
+
+import (
+	"encoding/json"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Command and answer types.
+const (
+	THello     = "hello"     // daemon → controller: introduce + capabilities
+	TWelcome   = "welcome"   // controller → daemon: session + blacklist
+	TRegister  = "register"  // controller → daemon: reserve resources for a job
+	TList      = "list"      // controller → daemon: bootstrap node list
+	TStart     = "start"     // controller → daemon: begin execution
+	TStop      = "stop"      // controller → daemon: terminate a running job
+	TFree      = "free"      // controller → daemon: release a reservation
+	TPing      = "ping"      // controller → daemon: liveness/responsiveness probe
+	TAck       = "ack"       // daemon → controller: positive answer
+	TErr       = "err"       // daemon → controller: negative answer
+	TBlacklist = "blacklist" // controller → daemon: blacklist update (no answer)
+)
+
+// Job describes a deployment unit shipped to daemons: a registered
+// application name plus its parameters (standing in for Lua source, see
+// DESIGN.md).
+type Job struct {
+	ID     string          `json:"id"`
+	App    string          `json:"app"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Position is the daemon's 1-based rank in the deployment sequence.
+	Position int `json:"position,omitempty"`
+	// Nodes is the bootstrap list delivered with LIST.
+	Nodes []transport.Addr `json:"nodes,omitempty"`
+}
+
+// Msg is one frame in either direction.
+type Msg struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	// HELLO fields.
+	Name     string `json:"name,omitempty"`
+	Key      string `json:"key,omitempty"`
+	PortLow  int    `json:"port_low,omitempty"`
+	PortHigh int    `json:"port_high,omitempty"`
+
+	// Command payloads.
+	Job   *Job     `json:"job,omitempty"`
+	Hosts []string `json:"hosts,omitempty"` // blacklist patterns
+
+	// Answers.
+	Port int    `json:"port,omitempty"` // port granted at REGISTER
+	Err  string `json:"err,omitempty"`
+}

@@ -1,0 +1,239 @@
+// Package daemon implements splayd, the lightweight process installed on
+// every testbed host (§3.1): it connects to the controller over a secure
+// link, accepts job reservations within its administrator-configured
+// resource restrictions, instantiates applications in sandboxed contexts,
+// and stops them on command. The controller may tighten — never weaken —
+// the administrator's restrictions.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/ctlproto"
+	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/sandbox"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Config is the daemon's local configuration file equivalent.
+type Config struct {
+	// Name identifies the daemon (its advertised host name).
+	Name string
+	// Key authenticates the daemon to the controller.
+	Key string
+	// PortLow/PortHigh is the port range granted to applications.
+	PortLow, PortHigh int
+	// Net and FS are the administrator's resource restrictions.
+	Net sandbox.NetLimits
+	FS  sandbox.FSLimits
+	// DialTimeout bounds the controller connection attempt.
+	DialTimeout time.Duration
+}
+
+// DefaultConfig fills ports and timeouts.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name: name, Key: "k-" + name,
+		PortLow: 20000, PortHigh: 29999,
+		DialTimeout: time.Minute,
+	}
+}
+
+// runningJob is one instantiated application.
+type runningJob struct {
+	job  *ctlproto.Job
+	port int
+	inst *core.Instance
+	sb   *sandbox.Node
+}
+
+// Daemon is a running splayd.
+type Daemon struct {
+	rt       core.Runtime
+	node     transport.Node
+	cfg      Config
+	registry *core.Registry
+	log      core.Logger
+
+	conn      transport.Conn
+	blacklist []string
+	nextPort  int
+	jobs      map[string]*runningJob
+	connected bool
+}
+
+// New creates a daemon that instantiates applications from the registry.
+func New(rt core.Runtime, node transport.Node, registry *core.Registry, cfg Config, log core.Logger) *Daemon {
+	if log == nil {
+		log = core.NopLogger{}
+	}
+	if cfg.PortLow == 0 {
+		cfg.PortLow, cfg.PortHigh = 20000, 29999
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = time.Minute
+	}
+	return &Daemon{
+		rt: rt, node: node, cfg: cfg, registry: registry, log: log,
+		nextPort: cfg.PortLow,
+		jobs:     make(map[string]*runningJob),
+	}
+}
+
+// Connected reports whether the controller session is up.
+func (d *Daemon) Connected() bool { return d.connected }
+
+// Running returns the number of application instances currently running.
+func (d *Daemon) Running() int { return len(d.jobs) }
+
+// Connect dials the controller, introduces itself, and serves commands
+// until the connection drops.
+func (d *Daemon) Connect(controller transport.Addr) error {
+	conn, err := d.node.Dial(controller, d.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("daemon %s: connect: %w", d.cfg.Name, err)
+	}
+	d.conn = conn
+	enc := llenc.NewWriter(conn)
+	dec := llenc.NewReader(conn)
+	hello := &ctlproto.Msg{
+		Type: ctlproto.THello, Name: d.cfg.Name, Key: d.cfg.Key,
+		PortLow: d.cfg.PortLow, PortHigh: d.cfg.PortHigh,
+	}
+	if err := enc.Encode(hello); err != nil {
+		return fmt.Errorf("daemon %s: hello: %w", d.cfg.Name, err)
+	}
+	var welcome ctlproto.Msg
+	if err := dec.Decode(&welcome); err != nil || welcome.Type != ctlproto.TWelcome {
+		return fmt.Errorf("daemon %s: no welcome (%v)", d.cfg.Name, err)
+	}
+	d.blacklist = welcome.Hosts
+	d.connected = true
+	wlock := core.NewLock(d.rt)
+
+	d.rt.Go(func() {
+		defer func() { d.connected = false }()
+		for {
+			var m ctlproto.Msg
+			if err := dec.Decode(&m); err != nil {
+				return
+			}
+			msg := m // copy for the handler task
+			d.rt.Go(func() {
+				ans := d.handle(&msg)
+				ans.Seq = msg.Seq
+				wlock.Lock()
+				enc.Encode(ans) //nolint:errcheck
+				wlock.Unlock()
+			})
+		}
+	})
+	return nil
+}
+
+// Close drops the controller connection and kills all instances.
+func (d *Daemon) Close() {
+	if d.conn != nil {
+		d.conn.Close()
+	}
+	for id := range d.jobs {
+		d.stopJob(id)
+	}
+}
+
+func (d *Daemon) handle(m *ctlproto.Msg) *ctlproto.Msg {
+	switch m.Type {
+	case ctlproto.TPing:
+		return &ctlproto.Msg{Type: ctlproto.TAck}
+	case ctlproto.TBlacklist:
+		d.blacklist = m.Hosts
+		return &ctlproto.Msg{Type: ctlproto.TAck}
+	case ctlproto.TRegister:
+		return d.register(m.Job)
+	case ctlproto.TList:
+		return d.list(m.Job)
+	case ctlproto.TStart:
+		return d.start(m.Job)
+	case ctlproto.TFree, ctlproto.TStop:
+		d.stopJob(m.Job.ID)
+		return &ctlproto.Msg{Type: ctlproto.TAck}
+	default:
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "unknown command " + m.Type}
+	}
+}
+
+// register reserves a port for the job (the REGISTER answer carries the
+// range available to the application; we grant one concrete port).
+func (d *Daemon) register(job *ctlproto.Job) *ctlproto.Msg {
+	if job == nil {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "no job"}
+	}
+	if _, ok := d.jobs[job.ID]; ok {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already registered"}
+	}
+	if _, err := d.registry.New(job.App, nil); err != nil {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: err.Error()}
+	}
+	port := d.nextPort
+	d.nextPort++
+	if d.nextPort > d.cfg.PortHigh {
+		d.nextPort = d.cfg.PortLow
+	}
+	d.jobs[job.ID] = &runningJob{job: job, port: port}
+	return &ctlproto.Msg{Type: ctlproto.TAck, Port: port}
+}
+
+// list installs the bootstrap information.
+func (d *Daemon) list(job *ctlproto.Job) *ctlproto.Msg {
+	rj, ok := d.jobs[job.ID]
+	if !ok {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "not registered"}
+	}
+	rj.job = job
+	return &ctlproto.Msg{Type: ctlproto.TAck}
+}
+
+// start instantiates the application in a sandboxed context.
+func (d *Daemon) start(job *ctlproto.Job) *ctlproto.Msg {
+	rj, ok := d.jobs[job.ID]
+	if !ok {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "not registered"}
+	}
+	if rj.inst != nil {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already running"}
+	}
+	app, err := d.registry.New(rj.job.App, json.RawMessage(rj.job.Params))
+	if err != nil {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: err.Error()}
+	}
+	limits := d.cfg.Net.Tighten(sandbox.NetLimits{Blacklist: d.blacklist})
+	sb := sandbox.Wrap(d.node, limits)
+	info := core.JobInfo{
+		JobID:    rj.job.ID,
+		Me:       transport.Addr{Host: d.cfg.Name, Port: rj.port},
+		Nodes:    rj.job.Nodes,
+		Position: rj.job.Position,
+	}
+	rj.sb = sb
+	rj.inst = core.StartInstance(d.rt, sb, info, d.log, app)
+	d.log.Printf("daemon %s: started %s (%s) on port %d", d.cfg.Name, rj.job.ID, rj.job.App, rj.port)
+	return &ctlproto.Msg{Type: ctlproto.TAck}
+}
+
+func (d *Daemon) stopJob(id string) {
+	rj, ok := d.jobs[id]
+	if !ok {
+		return
+	}
+	delete(d.jobs, id)
+	if rj.inst != nil {
+		rj.inst.Kill()
+	}
+	if rj.sb != nil {
+		rj.sb.CloseAll()
+	}
+	d.log.Printf("daemon %s: stopped %s", d.cfg.Name, id)
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment suite at small scale: every experiment must run and
+// reproduce the paper's qualitative shape. Magnitude checks are loose —
+// EXPERIMENTS.md records full-scale numbers.
+
+func run(t *testing.T, id string, scale float64) *Result {
+	t.Helper()
+	var sb strings.Builder
+	res, err := Run(id, Options{Scale: scale, Seed: 11, Out: &sb})
+	if err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, sb.String())
+	}
+	if sb.Len() == 0 {
+		t.Fatalf("%s produced no output", id)
+	}
+	return res
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(IDs()) < 14 {
+		t.Fatalf("registered experiments = %v", IDs())
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res := run(t, "fig3", 0.2)
+	if p := res.Metrics["p_under_250ms"]; p < 0.12 || p > 0.22 {
+		t.Errorf("P(≤250ms) = %.3f, paper: 0.171", p)
+	}
+	if p := res.Metrics["p_over_1s"]; p < 0.38 || p > 0.55 {
+		t.Errorf("P(>1s) = %.3f, paper: ≈0.45", p)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res := run(t, "fig4", 1)
+	if res.Metrics["pop_after_join"] != 10 {
+		t.Errorf("initial join population = %v", res.Metrics["pop_after_join"])
+	}
+	if res.Metrics["pop_final"] != 0 {
+		t.Errorf("final population = %v", res.Metrics["pop_final"])
+	}
+	if res.Metrics["pop_peak"] < 18 || res.Metrics["pop_peak"] > 24 {
+		t.Errorf("peak population = %v, want ≈20", res.Metrics["pop_peak"])
+	}
+}
+
+func TestTab1Shape(t *testing.T) {
+	res := run(t, "tab1", 1)
+	if res.Metrics["chord"] <= 0 || res.Metrics["pastry"] <= 0 {
+		t.Fatal("missing protocol counts")
+	}
+	if res.Metrics["chord"] >= res.Metrics["pastry"] {
+		t.Errorf("chord (%v) should be smaller than pastry (%v), as in the paper",
+			res.Metrics["chord"], res.Metrics["pastry"])
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	res := run(t, "fig6a", 0.12)
+	for _, n := range []int{300, 500, 1000} {
+		mean := res.Metrics[sprintf("mean_hops_%d", n)]
+		bound := res.Metrics[sprintf("bound_%d", n)]
+		if mean <= 0 || mean > bound+1.5 {
+			t.Errorf("%d nodes: mean hops %.2f vs ½log2N %.2f", n, mean, bound)
+		}
+	}
+}
+
+func TestFig6cShape(t *testing.T) {
+	res := run(t, "fig6c", 0.15)
+	// MIT (latency-aware) must beat plain SPLAY Chord on delay.
+	if res.Metrics["mit_median_ms"] >= res.Metrics["splay_median_ms"] {
+		t.Errorf("mit median %.0fms not below splay %.0fms",
+			res.Metrics["mit_median_ms"], res.Metrics["splay_median_ms"])
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	res := run(t, "fig7a", 0.25)
+	if res.Metrics["freepastry_median_ms"] <= res.Metrics["splay_median_ms"] {
+		t.Errorf("freepastry median %.0fms not above splay %.0fms",
+			res.Metrics["freepastry_median_ms"], res.Metrics["splay_median_ms"])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res := run(t, "fig8", 1)
+	if res.Metrics["swap_onset"] != 1263 {
+		t.Errorf("swap onset = %v, paper: 1263", res.Metrics["swap_onset"])
+	}
+	if m := res.Metrics["mem_per_instance_mb"]; m < 1.0 || m > 2.0 {
+		t.Errorf("mem/instance = %.2f MB, paper: <1.5 MB", m)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res := run(t, "fig12", 0.3)
+	// Larger supersets deploy faster (or equal), and deployment times sit
+	// in the paper's 0–10 s band.
+	for _, req := range []int{100, 300} {
+		t110 := res.Metrics[sprintf("t_%d_110", req)]
+		t200 := res.Metrics[sprintf("t_%d_200", req)]
+		if t200 > t110+0.5 {
+			t.Errorf("req=%d: 200%% superset (%.1fs) slower than 110%% (%.1fs)", req, t200, t110)
+		}
+		if t110 <= 0 || t110 > 12 {
+			t.Errorf("req=%d: deployment time %.1fs outside Fig. 12 band", req, t110)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res := run(t, "fig13", 0.25)
+	for _, label := range []string{"splay-16KB", "splay-128KB", "splay-512KB",
+		"crcp-16KB", "crcp-128KB", "crcp-512KB"} {
+		if res.Metrics[label+"_completed"] <= 0 {
+			t.Errorf("%s: no completions", label)
+		}
+	}
+	// SPLAY and CRCP finish in the same ballpark (paper: similar results).
+	sp := res.Metrics["splay-128KB_last_s"]
+	cr := res.Metrics["crcp-128KB_last_s"]
+	if sp <= 0 || cr <= 0 || sp > cr*2 || cr > sp*2 {
+		t.Errorf("last completions diverge: splay=%.0fs crcp=%.0fs", sp, cr)
+	}
+}
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy churn experiment")
+	}
+	res := run(t, "fig10", 0.08)
+	if res.Metrics["fail_pct_peak"] < 10 {
+		t.Errorf("failure peak %.1f%% too low: massive failure must be visible", res.Metrics["fail_pct_peak"])
+	}
+	if res.Metrics["fail_pct_end"] > res.Metrics["fail_pct_peak"]/2 {
+		t.Errorf("failures did not recover: peak %.1f%%, end %.1f%%",
+			res.Metrics["fail_pct_peak"], res.Metrics["fail_pct_end"])
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy cache experiment")
+	}
+	res := run(t, "fig14", 0.16)
+	// Small scale lowers the achievable ratio; full scale lands near the
+	// paper's 77.6% (see EXPERIMENTS.md). Here: stable and substantial.
+	if hr := res.Metrics["steady_hit_pct"]; hr < 40 || hr > 98 {
+		t.Errorf("steady hit ratio %.1f%% implausible", hr)
+	}
+	if res.Metrics["p75_ms"] <= 0 {
+		t.Error("no delay percentile recorded")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy three-testbed experiment")
+	}
+	res := run(t, "fig9", 0.12)
+	pl := res.Metrics["planetlab_median_ms"]
+	mn := res.Metrics["modelnet_median_ms"]
+	mx := res.Metrics["mixed_median_ms"]
+	if pl <= 0 || mn <= 0 || mx <= 0 {
+		t.Fatalf("missing medians: pl=%v mn=%v mixed=%v", pl, mn, mx)
+	}
+	// The mixed deployment's delays lie between the two pure testbeds'.
+	lo, hi := pl, mn
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if mx < lo*0.7 || mx > hi*1.3 {
+		t.Errorf("mixed median %vms outside [%v, %v]ms band", mx, lo, hi)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/splaykit/splay/internal/churn"
+	"github.com/splaykit/splay/internal/topology"
+	"github.com/splaykit/splay/internal/workload"
+)
+
+func init() {
+	register("fig3", fig3)
+	register("fig4", fig4)
+}
+
+// fig3 reproduces Fig. 3: the distribution of round-trip times for a
+// 20 KB message over established TCP connections from the controller to
+// PlanetLab hosts.
+func fig3(opt Options) (*Result, error) {
+	w := opt.out()
+	hosts := opt.n(400, 40)
+	cfg := topology.DefaultPlanetLab(hosts)
+	cfg.Seed = opt.Seed
+	pl := topology.NewPlanetLab(cfg)
+
+	probes := opt.n(20000, 2000)
+	samples := workload.ProbeSamples(probes, hosts, func(h int) time.Duration {
+		return pl.ProbeDelay(h, 20<<10)
+	})
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	frac := func(limit time.Duration) float64 {
+		n := sort.Search(len(samples), func(i int) bool { return samples[i] > limit })
+		return float64(n) / float64(len(samples))
+	}
+	fmt.Fprintf(w, "# Fig. 3 — controller→PlanetLab RTT, 20KB payload, %d hosts, %d probes\n", hosts, probes)
+	for _, limit := range []time.Duration{
+		100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+	} {
+		fmt.Fprintf(w, "P(delay ≤ %8v) = %6.2f%%\n", limit, frac(limit)*100)
+	}
+	res := newResult("fig3")
+	res.Metrics["p_under_250ms"] = frac(250 * time.Millisecond)
+	res.Metrics["p_over_1s"] = 1 - frac(time.Second)
+	res.Metrics["max_seconds"] = samples[len(samples)-1].Seconds()
+	return res, nil
+}
+
+// fig4 reproduces Fig. 4: the example synthetic churn description, its
+// per-minute joins/leaves and total node population.
+func fig4(opt Options) (*Result, error) {
+	w := opt.out()
+	script, err := churn.ParseScript(churn.PaperScript)
+	if err != nil {
+		return nil, err
+	}
+	tr := churn.FromScript(script, opt.Seed)
+	pop, joins, leaves := tr.Population(time.Minute)
+
+	fmt.Fprintf(w, "# Fig. 4 — synthetic churn script (paper example)\n")
+	fmt.Fprintf(w, "%-8s %8s %8s %8s\n", "minute", "joins", "leaves", "total")
+	for m := 0; m < len(pop); m++ {
+		fmt.Fprintf(w, "%-8d %8d %8d %8d\n", m, joins[m], leaves[m], pop[m])
+	}
+
+	res := newResult("fig4")
+	res.Metrics["pop_after_join"] = float64(pop[0])
+	res.Metrics["pop_at_10m"] = float64(pop[10])
+	res.Metrics["pop_after_massive"] = float64(pop[15])
+	res.Metrics["pop_final"] = float64(pop[len(pop)-1])
+	peak := 0
+	for _, p := range pop {
+		if p > peak {
+			peak = p
+		}
+	}
+	res.Metrics["pop_peak"] = float64(peak)
+	return res, nil
+}

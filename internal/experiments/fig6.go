@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/chord"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/stats"
+	"github.com/splaykit/splay/internal/topology"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func init() {
+	register("fig6a", fig6a)
+	register("fig6b", fig6b)
+	register("fig6c", fig6c)
+}
+
+// chordRun is the outcome of one Chord deployment measurement.
+type chordRun struct {
+	hops   *stats.IntHistogram
+	delays stats.Durations
+	fails  int
+}
+
+// runChord deploys n converged Chord nodes over the link model and issues
+// lookups from random sources.
+func runChord(model simnet.LinkModel, n int, cfg chord.Config, lookups int,
+	seed int64, oracle chord.RTTOracle, proc simnet.ProcDelayFunc) (*chordRun, error) {
+
+	k := sim.NewKernel()
+	nw := simnet.New(k, model, n, seed)
+	if proc != nil {
+		nw.SetProcDelay(proc)
+	}
+	rt := core.NewSimRuntime(k, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	ids := make(map[uint64]bool, n)
+	nodes := make([]*chord.Node, 0, n)
+	for i := 0; i < n; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 8000}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr, Position: i + 1}, nil)
+		c := cfg
+		var id uint64
+		for {
+			id = rng.Uint64() & ((1 << cfg.Bits) - 1)
+			if !ids[id] {
+				ids[id] = true
+				break
+			}
+		}
+		c.ID = &id
+		node, err := chord.New(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	var startErr error
+	k.Go(func() {
+		for _, node := range nodes {
+			if err := node.Start(); err != nil {
+				startErr = err
+				return
+			}
+		}
+	})
+	k.Run()
+	if startErr != nil {
+		return nil, startErr
+	}
+	if err := chord.BuildRing(nodes, chord.BuildOptions{Oracle: oracle}); err != nil {
+		return nil, err
+	}
+
+	run := &chordRun{hops: &stats.IntHistogram{}}
+	perNode := lookups / n
+	if perNode < 1 {
+		perNode = 1
+	}
+	for i := range nodes {
+		node := nodes[i]
+		start := time.Duration(rng.Intn(10000)) * time.Millisecond
+		k.GoAfter(start, func() {
+			lrng := rand.New(rand.NewSource(seed + int64(node.Self().ID)))
+			for j := 0; j < perNode; j++ {
+				key := lrng.Uint64() & ((1 << cfg.Bits) - 1)
+				res, err := node.Lookup(key)
+				if err != nil {
+					run.fails++
+					continue
+				}
+				run.hops.Add(res.Hops)
+				run.delays = append(run.delays, res.RTT)
+			}
+		})
+	}
+	k.Run()
+	return run, nil
+}
+
+// fig6a reproduces Fig. 6(a): Chord route-length PDFs on ModelNet for
+// 300, 500 and 1,000 nodes (50 lookups per node).
+func fig6a(opt Options) (*Result, error) {
+	w := opt.out()
+	res := newResult("fig6a")
+	fmt.Fprintf(w, "# Fig. 6(a) — Chord on ModelNet: route length PDF\n")
+	for _, full := range []int{300, 500, 1000} {
+		n := opt.n(full, 30)
+		mn := topology.NewModelNet(topology.DefaultModelNet(n))
+		run, err := runChord(mn, n, chord.DefaultConfig(), opt.n(50*full, n), opt.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		pdf := run.hops.PDF()
+		fmt.Fprintf(w, "## %d nodes (mean %.2f hops, ½·log2 N = %.2f)\n",
+			n, run.hops.Mean(), 0.5*log2(float64(n)))
+		for h, p := range pdf {
+			fmt.Fprintf(w, "hops=%-2d %6.2f%%\n", h, p*100)
+		}
+		res.Metrics[fmt.Sprintf("mean_hops_%d", full)] = run.hops.Mean()
+		res.Metrics[fmt.Sprintf("bound_%d", full)] = 0.5 * log2(float64(n))
+	}
+	return res, nil
+}
+
+// fig6b reproduces Fig. 6(b): Chord lookup-delay CDFs on ModelNet.
+func fig6b(opt Options) (*Result, error) {
+	w := opt.out()
+	res := newResult("fig6b")
+	fmt.Fprintf(w, "# Fig. 6(b) — Chord on ModelNet: lookup delay CDF\n")
+	for _, full := range []int{300, 500, 1000} {
+		n := opt.n(full, 30)
+		mn := topology.NewModelNet(topology.DefaultModelNet(n))
+		run, err := runChord(mn, n, chord.DefaultConfig(), opt.n(50*full, n), opt.Seed, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		printCDF(w, fmt.Sprintf("%d-nodes", n), run.delays, 10)
+		res.Metrics[fmt.Sprintf("median_ms_%d", full)] =
+			float64(run.delays.Percentile(50).Milliseconds())
+		res.Metrics[fmt.Sprintf("p90_ms_%d", full)] =
+			float64(run.delays.Percentile(90).Milliseconds())
+	}
+	return res, nil
+}
+
+// fig6c reproduces Fig. 6(c): fault-tolerant Chord on PlanetLab versus
+// the latency-aware MIT Chord baseline, 5,000 lookups on 380 nodes.
+func fig6c(opt Options) (*Result, error) {
+	w := opt.out()
+	res := newResult("fig6c")
+	n := opt.n(380, 40)
+	lookups := opt.n(5000, 500)
+
+	plCfg := topology.DefaultPlanetLab(n)
+	plCfg.Seed = opt.Seed
+
+	runVariant := func(oracle bool) (*chordRun, error) {
+		pl := topology.NewPlanetLab(plCfg)
+		var orc chord.RTTOracle
+		if oracle {
+			orc = func(a, b transport.Addr) time.Duration {
+				ia, _ := simnet.HostID(a.Host)
+				ib, _ := simnet.HostID(b.Host)
+				return 2 * pl.Delay(ia, ib)
+			}
+		}
+		return runChord(pl, n, chord.FaultTolerantConfig(), lookups, opt.Seed, orc, pl.ProcDelay)
+	}
+	splay, err := runVariant(false)
+	if err != nil {
+		return nil, err
+	}
+	mit, err := runVariant(true)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "# Fig. 6(c) — Chord on PlanetLab (%d nodes, %d lookups)\n", n, lookups)
+	printCDF(w, "splay-chord", splay.delays, 10)
+	printCDF(w, "mit-chord", mit.delays, 10)
+	fmt.Fprintf(w, "mean route length: splay=%.2f mit=%.2f (paper: 4.1 both)\n",
+		splay.hops.Mean(), mit.hops.Mean())
+
+	res.Metrics["splay_median_ms"] = float64(splay.delays.Percentile(50).Milliseconds())
+	res.Metrics["mit_median_ms"] = float64(mit.delays.Percentile(50).Milliseconds())
+	res.Metrics["splay_mean_hops"] = splay.hops.Mean()
+	res.Metrics["mit_mean_hops"] = mit.hops.Mean()
+	return res, nil
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,111 @@
+package livenet
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func TestLiveStreamRoundTrip(t *testing.T) {
+	n := NewNode("127.0.0.1")
+	ln, err := n.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan string, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		data, _ := io.ReadAll(c)
+		got <- string(data)
+	}()
+	c, err := n.Dial(transport.Addr{Host: "127.0.0.1", Port: ln.Addr().Port}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("live hello"))
+	c.Close()
+	select {
+	case s := <-got:
+		if s != "live hello" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestLiveTLS(t *testing.T) {
+	cfg, err := SelfSignedTLS("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewNode("127.0.0.1")
+	server.TLS = cfg
+	ln, err := server.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan string, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		n, _ := c.Read(buf)
+		got <- string(buf[:n])
+	}()
+	c2 := NewNode("127.0.0.1")
+	c2.TLS = cfg // any non-nil enables TLS dialing (client uses its own config)
+	conn, err := c2.Dial(transport.Addr{Host: "127.0.0.1", Port: ln.Addr().Port}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("secured"))
+	select {
+	case s := <-got:
+		if s != "secured" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestLivePackets(t *testing.T) {
+	n := NewNode("127.0.0.1")
+	pc, err := n.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	sender, err := n.ListenPacket(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	go sender.WriteTo([]byte("dgram"), transport.Addr{Host: "127.0.0.1", Port: pc.Addr().Port})
+	pc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	m, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:m]) != "dgram" {
+		t.Fatalf("got %q", buf[:m])
+	}
+}
+
+func TestDialRefusedLive(t *testing.T) {
+	n := NewNode("127.0.0.1")
+	if _, err := n.Dial(transport.Addr{Host: "127.0.0.1", Port: 1}, 2*time.Second); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

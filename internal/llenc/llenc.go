@@ -1,0 +1,116 @@
+// Package llenc implements SPLAY's llenc library: length-prefixed message
+// framing over stream transports, with JSON payload helpers.
+//
+// The paper describes llenc as the library that "automatically performs
+// message demarcation, computing buffer sizes and waiting for all packets of
+// a message before delivery", layered under the json serialization library.
+// Frames are a 4-byte big-endian length followed by the payload.
+package llenc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessage bounds decoded message sizes so a corrupt or hostile peer
+// cannot make a reader allocate unbounded memory.
+const MaxMessage = 64 << 20
+
+// ErrTooLarge is returned when an encoded frame exceeds MaxMessage.
+var ErrTooLarge = errors.New("llenc: message exceeds maximum size")
+
+const headerSize = 4
+
+// Writer frames messages onto an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte // reused header+payload buffer for WriteMessage
+}
+
+// NewWriter returns a framing writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteMessage writes one frame. It is not safe for concurrent use.
+func (w *Writer) WriteMessage(payload []byte) error {
+	if len(payload) > MaxMessage {
+		return ErrTooLarge
+	}
+	need := headerSize + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	buf := w.buf[:need]
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+	_, err := w.w.Write(buf)
+	return err
+}
+
+// Encode marshals v as JSON and writes it as one frame.
+func (w *Writer) Encode(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("llenc: encode: %w", err)
+	}
+	return w.WriteMessage(payload)
+}
+
+// Reader reads frames from an io.Reader.
+type Reader struct {
+	r      io.Reader
+	header [headerSize]byte
+	buf    []byte // reused payload buffer
+}
+
+// NewReader returns a framing reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadMessage reads one frame and returns its payload. The returned slice
+// is valid until the next call to ReadMessage.
+func (r *Reader) ReadMessage() ([]byte, error) {
+	if _, err := io.ReadFull(r.r, r.header[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(r.header[:])
+	if n > MaxMessage {
+		return nil, ErrTooLarge
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Decode reads one frame and unmarshals its JSON payload into v.
+func (r *Reader) Decode(v any) error {
+	payload, err := r.ReadMessage()
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("llenc: decode: %w", err)
+	}
+	return nil
+}
+
+// Codec couples a Reader and Writer over one stream, the common case for
+// request/answer protocols.
+type Codec struct {
+	*Reader
+	*Writer
+}
+
+// NewCodec returns a codec over rw.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{Reader: NewReader(rw), Writer: NewWriter(rw)}
+}

@@ -1,0 +1,125 @@
+package llenc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, msg := range []string{"", "a", "hello world", string(make([]byte, 100000))} {
+		if err := w.WriteMessage([]byte(msg)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for _, want := range []string{"", "a", "hello world", string(make([]byte, 100000))} {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(got) != want {
+			t.Fatalf("got %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Fatalf("at end: %v, want EOF", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type msg struct {
+		Op   string         `json:"op"`
+		Args []any          `json:"args"`
+		Meta map[string]int `json:"meta"`
+	}
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	in := msg{Op: "find_successor", Args: []any{"id", 42.0}, Meta: map[string]int{"ttl": 3}}
+	if err := c.Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out msg
+	if err := c.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || len(out.Args) != 2 || out.Meta["ttl"] != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a frame header claiming a huge payload.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	r := NewReader(&buf)
+	if _, err := r.ReadMessage(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMessage([]byte("hello"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.ReadMessage(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0, 0}))
+	if _, err := r.ReadMessage(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteMessage([]byte("{not json"))
+	var v map[string]any
+	if err := NewReader(&buf).Decode(&v); err == nil {
+		t.Fatal("decoded invalid JSON")
+	}
+}
+
+// Property: any sequence of arbitrary byte messages survives framing.
+func TestQuickFraming(t *testing.T) {
+	f := func(msgs [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, m := range msgs {
+			if err := w.WriteMessage(m); err != nil {
+				return false
+			}
+		}
+		r := NewReader(&buf)
+		for _, m := range msgs {
+			got, err := r.ReadMessage()
+			if err != nil || !bytes.Equal(got, m) {
+				return false
+			}
+		}
+		_, err := r.ReadMessage()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteMessage(b *testing.B) {
+	payload := make([]byte, 1024)
+	w := NewWriter(io.Discard)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		w.WriteMessage(payload)
+	}
+}

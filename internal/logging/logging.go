@@ -1,0 +1,209 @@
+// Package logging implements SPLAY's log library and the controller-side
+// log collector. Applications print locally or stream records over the
+// network to a collector process; daemons hand each application the
+// collector address plus a unique identification key, and the collector
+// rejects connections that don't present a known key (§3.1, §3.4).
+package logging
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Level grades log records.
+type Level int
+
+// Levels, lowest to highest severity.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "DEBUG"
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	default:
+		return "ERROR"
+	}
+}
+
+// Record is one log entry on the wire.
+type Record struct {
+	Key   string    `json:"key"` // daemon-issued identification key
+	Time  time.Time `json:"time"`
+	Level Level     `json:"level"`
+	Node  string    `json:"node"`
+	Msg   string    `json:"msg"`
+}
+
+// Sink consumes records.
+type Sink interface {
+	Emit(r Record) error
+}
+
+// WriterSink formats records onto an io.Writer (the "local" mode).
+type WriterSink struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := fmt.Fprintf(s.W, "%s %-5s %s %s\n", r.Time.Format(time.RFC3339), r.Level, r.Node, r.Msg)
+	return err
+}
+
+// Logger is the application-facing API; it satisfies core.Logger.
+type Logger struct {
+	sink  Sink
+	node  string
+	key   string
+	min   Level
+	off   bool
+	clock func() time.Time
+}
+
+// New builds a logger emitting to sink; clock supplies timestamps
+// (virtual time under simulation).
+func New(sink Sink, node, key string, clock func() time.Time) *Logger {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Logger{sink: sink, node: node, key: key, clock: clock}
+}
+
+// SetLevel drops records below min.
+func (l *Logger) SetLevel(min Level) { l.min = min }
+
+// SetEnabled toggles logging entirely (the paper's dynamic enable/disable).
+func (l *Logger) SetEnabled(on bool) { l.off = !on }
+
+// Log emits one record at the given level.
+func (l *Logger) Log(level Level, format string, args ...any) {
+	if l.off || level < l.min || l.sink == nil {
+		return
+	}
+	l.sink.Emit(Record{ //nolint:errcheck // logging is best effort
+		Key: l.key, Time: l.clock(), Level: level,
+		Node: l.node, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Printf implements core.Logger at Info level.
+func (l *Logger) Printf(format string, args ...any) { l.Log(Info, format, args...) }
+
+// Debugf, Warnf and Errorf are level-specific helpers.
+func (l *Logger) Debugf(format string, args ...any) { l.Log(Debug, format, args...) }
+func (l *Logger) Warnf(format string, args ...any)  { l.Log(Warn, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) { l.Log(Error, format, args...) }
+
+// NetSink streams records to a collector over a transport connection.
+type NetSink struct {
+	enc *llenc.Writer
+	c   transport.Conn
+}
+
+// DialCollector connects to a collector.
+func DialCollector(node transport.Node, addr transport.Addr, timeout time.Duration) (*NetSink, error) {
+	c, err := node.Dial(addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("logging: dial collector: %w", err)
+	}
+	return &NetSink{enc: llenc.NewWriter(c), c: c}, nil
+}
+
+// Emit implements Sink.
+func (s *NetSink) Emit(r Record) error { return s.enc.Encode(r) }
+
+// Close closes the collector connection.
+func (s *NetSink) Close() error { return s.c.Close() }
+
+// Collector is the controller-side log process: it accepts connections
+// from daemons' applications and forwards authenticated records to a
+// sink. Connections presenting an unknown key are dropped.
+type Collector struct {
+	ln    transport.Listener
+	sink  Sink
+	spawn func(fn func())
+
+	mu   sync.Mutex
+	keys map[string]bool
+	recv uint64
+}
+
+// NewCollector listens on the node's port and forwards to sink; spawn
+// runs connection handlers as tasks (core.Runtime.Go or `go`).
+func NewCollector(node transport.Node, port int, sink Sink, spawn func(fn func())) (*Collector, error) {
+	ln, err := node.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{ln: ln, sink: sink, spawn: spawn, keys: make(map[string]bool)}
+	spawn(c.acceptLoop)
+	return c, nil
+}
+
+// Addr returns the collector's address.
+func (c *Collector) Addr() transport.Addr { return c.ln.Addr() }
+
+// Authorize registers an application key.
+func (c *Collector) Authorize(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys[key] = true
+}
+
+// Received reports accepted record count.
+func (c *Collector) Received() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recv
+}
+
+// Close stops the collector.
+func (c *Collector) Close() error { return c.ln.Close() }
+
+func (c *Collector) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.spawn(func() { c.serve(conn) })
+	}
+}
+
+func (c *Collector) serve(conn transport.Conn) {
+	defer conn.Close()
+	dec := llenc.NewReader(conn)
+	for {
+		var r Record
+		if err := dec.Decode(&r); err != nil {
+			return
+		}
+		c.mu.Lock()
+		ok := c.keys[r.Key]
+		if ok {
+			c.recv++
+		}
+		c.mu.Unlock()
+		if !ok {
+			return // unauthenticated sender: drop the connection
+		}
+		c.sink.Emit(r) //nolint:errcheck
+	}
+}

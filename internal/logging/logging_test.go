@@ -1,0 +1,104 @@
+package logging
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+)
+
+func TestWriterSinkFormatting(t *testing.T) {
+	var sb strings.Builder
+	lg := New(&WriterSink{W: &sb}, "n3:8000", "k", func() time.Time { return time.Unix(0, 0).UTC() })
+	lg.Printf("joined ring as %d", 42)
+	lg.Debugf("hidden by default? no — debug is the floor")
+	out := sb.String()
+	if !strings.Contains(out, "joined ring as 42") || !strings.Contains(out, "n3:8000") {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestLevelFilterAndDisable(t *testing.T) {
+	var sb strings.Builder
+	lg := New(&WriterSink{W: &sb}, "n", "k", nil)
+	lg.SetLevel(Warn)
+	lg.Printf("info hidden")
+	lg.Warnf("warn shown")
+	lg.Errorf("error shown")
+	if strings.Contains(sb.String(), "hidden") {
+		t.Fatal("level filter failed")
+	}
+	if !strings.Contains(sb.String(), "warn shown") || !strings.Contains(sb.String(), "error shown") {
+		t.Fatal("warn/error dropped")
+	}
+	lg.SetEnabled(false)
+	lg.Errorf("muted")
+	if strings.Contains(sb.String(), "muted") {
+		t.Fatal("disable failed")
+	}
+}
+
+func TestCollectorOverNetwork(t *testing.T) {
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 10 * time.Millisecond}, 2, 1)
+	var sb strings.Builder
+	var col *Collector
+	k.Go(func() {
+		var err error
+		col, err = NewCollector(nw.Node(0), 7998, &WriterSink{W: &sb}, k.Go)
+		if err != nil {
+			t.Errorf("collector: %v", err)
+			return
+		}
+		col.Authorize("secret-key")
+	})
+	k.GoAfter(time.Second, func() {
+		sink, err := DialCollector(nw.Node(1), col.Addr(), time.Minute)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		lg := New(sink, "n1:8000", "secret-key", k.Now)
+		lg.Printf("hello collector")
+		lg.Warnf("watch out")
+	})
+	k.RunFor(time.Minute)
+	if col.Received() != 2 {
+		t.Fatalf("collector received %d records", col.Received())
+	}
+	if !strings.Contains(sb.String(), "hello collector") {
+		t.Fatalf("record lost: %q", sb.String())
+	}
+}
+
+func TestCollectorRejectsUnknownKey(t *testing.T) {
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 10 * time.Millisecond}, 2, 1)
+	var sb strings.Builder
+	var col *Collector
+	k.Go(func() {
+		var err error
+		col, err = NewCollector(nw.Node(0), 7998, &WriterSink{W: &sb}, k.Go)
+		if err != nil {
+			t.Errorf("collector: %v", err)
+		}
+	})
+	k.GoAfter(time.Second, func() {
+		sink, err := DialCollector(nw.Node(1), col.Addr(), time.Minute)
+		if err != nil {
+			return
+		}
+		lg := New(sink, "n1:8000", "forged-key", k.Now)
+		lg.Printf("should not arrive")
+		lg.Printf("second attempt")
+	})
+	k.RunFor(time.Minute)
+	if col.Received() != 0 {
+		t.Fatalf("unauthenticated records accepted: %d", col.Received())
+	}
+	if strings.Contains(sb.String(), "arrive") {
+		t.Fatal("record leaked to sink")
+	}
+}

@@ -1,0 +1,125 @@
+package cyclon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func buildCyclon(t *testing.T, n int) (*sim.Kernel, []*Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond}, n, 1)
+	rt := core.NewSimRuntime(k, 1)
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 8100}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
+		nodes = append(nodes, New(ctx, DefaultConfig()))
+	}
+	k.Go(func() {
+		for i, node := range nodes {
+			// Bootstrap as a thick ring: each node knows its next ten
+			// successors (Cyclon conserves the total number of view
+			// entries, so bootstrap views determine view sizes).
+			var seeds []transport.Addr
+			for j := 1; j <= 10; j++ {
+				seeds = append(seeds, transport.Addr{Host: simnet.HostName((i + j) % n), Port: 8100})
+			}
+			if err := node.Start(seeds); err != nil {
+				t.Errorf("start %d: %v", i, err)
+			}
+		}
+	})
+	return k, nodes
+}
+
+func TestShufflesMixTheRing(t *testing.T) {
+	const n = 64
+	k, nodes := buildCyclon(t, n)
+	k.RunFor(5 * time.Minute)
+
+	// Views fill up toward the configured size.
+	for i, node := range nodes {
+		if len(node.View()) < 10 {
+			t.Fatalf("node %d view only %d entries", i, len(node.View()))
+		}
+		if node.Shuffles == 0 {
+			t.Fatalf("node %d never shuffled", i)
+		}
+	}
+	// In-degree spread: after mixing, no node should be missing from all
+	// views and none should dominate.
+	indeg := map[string]int{}
+	for _, node := range nodes {
+		for _, e := range node.View() {
+			indeg[e.Addr.String()]++
+		}
+	}
+	if len(indeg) < n*9/10 {
+		t.Fatalf("only %d/%d nodes referenced by any view", len(indeg), n)
+	}
+	min, max := 1<<30, 0
+	for _, d := range indeg {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if max > 20*min+20 {
+		t.Fatalf("in-degree skew too high: min=%d max=%d", min, max)
+	}
+}
+
+func TestViewsNeverContainSelfOrDuplicates(t *testing.T) {
+	k, nodes := buildCyclon(t, 16)
+	k.RunFor(2 * time.Minute)
+	for i, node := range nodes {
+		seen := map[string]bool{}
+		for _, e := range node.View() {
+			if e.Addr == node.self {
+				t.Fatalf("node %d has self in view", i)
+			}
+			if seen[e.Addr.String()] {
+				t.Fatalf("node %d has duplicate %s", i, e.Addr)
+			}
+			seen[e.Addr.String()] = true
+		}
+		if len(node.View()) > node.cfg.ViewSize {
+			t.Fatalf("node %d view exceeds capacity", i)
+		}
+	}
+}
+
+func TestDeadPeersEventuallyDropped(t *testing.T) {
+	k, nodes := buildCyclon(t, 16)
+	k.RunFor(time.Minute)
+	// Kill node 3; within a few shuffle periods its entry must vanish
+	// from every view (failed shuffles drop it; entries sent away age out).
+	k.Go(func() {
+		nodes[3].Stop()
+		nodes[3].ctx.Kill()
+	})
+	k.RunFor(5 * time.Minute)
+	dead := nodes[3].self.String()
+	holders := 0
+	for i, node := range nodes {
+		if i == 3 {
+			continue
+		}
+		for _, e := range node.View() {
+			if e.Addr.String() == dead {
+				holders++
+			}
+		}
+	}
+	if holders > 4 {
+		t.Fatalf("dead peer still in %d views", holders)
+	}
+}

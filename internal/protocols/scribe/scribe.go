@@ -1,0 +1,252 @@
+// Package scribe implements the Scribe publish-subscribe system on top of
+// Pastry (§5.1): each group's identifier maps to a rendez-vous node (the
+// Pastry root), and the reverse paths of subscription walks form a
+// per-group multicast tree. Publishers route messages to the root, which
+// pushes them down the tree.
+package scribe
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/rpc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// GroupID identifies a multicast group in the Pastry identifier space.
+type GroupID = pastry.ID
+
+// GroupOf hashes a topic name to its group identifier.
+func GroupOf(topic string) GroupID {
+	h := pastry.ID(0)
+	for _, c := range []byte(topic) {
+		h = h*1099511628211 + pastry.ID(c)
+	}
+	return h
+}
+
+// Config parameterizes a Scribe node.
+type Config struct {
+	// Port is the Scribe RPC port (distinct from Pastry's).
+	Port int
+	// RepairEvery re-walks subscriptions to heal trees under churn.
+	RepairEvery time.Duration
+	// RPCTimeout bounds tree maintenance and dissemination calls.
+	RPCTimeout time.Duration
+}
+
+// DefaultConfig returns sane defaults.
+func DefaultConfig() Config {
+	return Config{Port: 9200, RepairEvery: 30 * time.Second, RPCTimeout: 15 * time.Second}
+}
+
+// groupState is this node's role in one group's tree.
+type groupState struct {
+	subscriber bool
+	children   map[string]transport.Addr
+}
+
+// Node is one Scribe instance layered over a started Pastry node.
+type Node struct {
+	ctx    *core.AppContext
+	cfg    Config
+	pastry *pastry.Node
+	groups map[GroupID]*groupState
+	client *rpc.Client
+	server *rpc.Server
+	stop   func()
+
+	// OnDeliver runs on every delivered publication.
+	OnDeliver func(g GroupID, payload json.RawMessage)
+
+	// Delivered counts deliveries to the local subscriber.
+	Delivered uint64
+}
+
+// New creates a Scribe node over p.
+func New(ctx *core.AppContext, p *pastry.Node, cfg Config) *Node {
+	if cfg.Port == 0 {
+		cfg.Port = 9200
+	}
+	if cfg.RepairEvery <= 0 {
+		cfg.RepairEvery = 30 * time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 15 * time.Second
+	}
+	n := &Node{
+		ctx: ctx, cfg: cfg, pastry: p,
+		groups: make(map[GroupID]*groupState),
+	}
+	n.client = rpc.NewClient(ctx)
+	n.client.Timeout = cfg.RPCTimeout
+	return n
+}
+
+// Start serves the Scribe RPC interface and begins periodic tree repair.
+func (n *Node) Start() error {
+	s := rpc.NewServer(n.ctx)
+	s.Register("scribe_join", n.handleJoin)
+	s.Register("scribe_pub", n.handlePub)
+	s.Register("scribe_msg", n.handleMsg)
+	if err := s.Start(n.cfg.Port); err != nil {
+		return err
+	}
+	n.server = s
+	n.stop = n.ctx.Periodic(n.cfg.RepairEvery, n.repair)
+	return nil
+}
+
+// Stop halts repair and the server.
+func (n *Node) Stop() {
+	if n.stop != nil {
+		n.stop()
+	}
+	if n.server != nil {
+		n.server.Close()
+	}
+}
+
+// scribeAddr maps a Pastry reference to the peer's Scribe endpoint.
+func (n *Node) scribeAddr(ref pastry.NodeRef) transport.Addr {
+	return transport.Addr{Host: ref.Addr.Host, Port: n.cfg.Port}
+}
+
+func (n *Node) state(g GroupID) *groupState {
+	st, ok := n.groups[g]
+	if !ok {
+		st = &groupState{children: make(map[string]transport.Addr)}
+		n.groups[g] = st
+	}
+	return st
+}
+
+// Subscribe joins the group's multicast tree.
+func (n *Node) Subscribe(g GroupID) {
+	n.state(g).subscriber = true
+	n.joinToward(g)
+}
+
+// Children returns the node's child count for a group (tree fan-out).
+func (n *Node) Children(g GroupID) int {
+	if st, ok := n.groups[g]; ok {
+		return len(st.children)
+	}
+	return 0
+}
+
+// IsForwarder reports whether the node has tree state for the group.
+func (n *Node) IsForwarder(g GroupID) bool {
+	st, ok := n.groups[g]
+	return ok && (st.subscriber || len(st.children) > 0)
+}
+
+// joinToward grafts this node onto the group tree: send a join to the
+// next Pastry hop toward the group identifier; the receiver adds us as a
+// child and recursively joins until an existing tree node or the root is
+// reached.
+func (n *Node) joinToward(g GroupID) {
+	next, root := n.pastry.NextHop(g)
+	if root {
+		return // we are the rendez-vous node
+	}
+	self := transport.Addr{Host: n.ctx.Job.Me.Host, Port: n.cfg.Port}
+	n.client.Call(n.scribeAddr(next), "scribe_join", g, self) //nolint:errcheck // repair retries
+}
+
+func (n *Node) handleJoin(args rpc.Args) (any, error) {
+	var g GroupID
+	if err := args.Decode(0, &g); err != nil {
+		return nil, err
+	}
+	var child transport.Addr
+	if err := args.Decode(1, &child); err != nil {
+		return nil, err
+	}
+	st := n.state(g)
+	hadState := st.subscriber || len(st.children) > 0
+	st.children[child.String()] = child
+	if !hadState {
+		// Newly created forwarder: graft ourselves toward the root.
+		n.joinToward(g)
+	}
+	return nil, nil
+}
+
+// repair re-walks every group membership, healing broken parents.
+func (n *Node) repair() {
+	for g, st := range n.groups {
+		if st.subscriber || len(st.children) > 0 {
+			n.joinToward(g)
+		}
+	}
+}
+
+// Publish routes a payload to the group's rendez-vous node, which
+// disseminates it down the tree.
+func (n *Node) Publish(g GroupID, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	next, root := n.pastry.NextHop(g)
+	if root {
+		n.disseminate(g, raw)
+		return nil
+	}
+	_, err = n.client.Call(n.scribeAddr(next), "scribe_pub", g, json.RawMessage(raw))
+	return err
+}
+
+func (n *Node) handlePub(args rpc.Args) (any, error) {
+	var g GroupID
+	if err := args.Decode(0, &g); err != nil {
+		return nil, err
+	}
+	var payload json.RawMessage
+	if err := args.Decode(1, &payload); err != nil {
+		return nil, err
+	}
+	next, root := n.pastry.NextHop(g)
+	if root {
+		n.disseminate(g, payload)
+		return nil, nil
+	}
+	_, err := n.client.Call(n.scribeAddr(next), "scribe_pub", g, payload)
+	return nil, err
+}
+
+func (n *Node) handleMsg(args rpc.Args) (any, error) {
+	var g GroupID
+	if err := args.Decode(0, &g); err != nil {
+		return nil, err
+	}
+	var payload json.RawMessage
+	if err := args.Decode(1, &payload); err != nil {
+		return nil, err
+	}
+	n.disseminate(g, payload)
+	return nil, nil
+}
+
+// disseminate delivers locally (if subscribed) and pushes to children.
+func (n *Node) disseminate(g GroupID, payload json.RawMessage) {
+	st := n.state(g)
+	if st.subscriber {
+		n.Delivered++
+		if n.OnDeliver != nil {
+			n.OnDeliver(g, payload)
+		}
+	}
+	for key, child := range st.children {
+		child := child
+		key := key
+		n.ctx.Go(func() {
+			if _, err := n.client.Call(child, "scribe_msg", g, payload); err != nil {
+				delete(st.children, key) // dead child
+			}
+		})
+	}
+}

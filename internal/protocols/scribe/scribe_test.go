@@ -1,0 +1,136 @@
+package scribe
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+type scribeNet struct {
+	k      *sim.Kernel
+	pnodes []*pastry.Node
+	nodes  []*Node
+}
+
+func buildScribe(t *testing.T, n int) *scribeNet {
+	t.Helper()
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond}, n, 1)
+	rt := core.NewSimRuntime(k, 1)
+	sn := &scribeNet{k: k}
+	for i := 0; i < n; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 9000}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
+		p := pastry.New(ctx, pastry.DefaultConfig())
+		sn.pnodes = append(sn.pnodes, p)
+		sn.nodes = append(sn.nodes, New(ctx, p, DefaultConfig()))
+	}
+	k.Go(func() {
+		for i := range sn.pnodes {
+			if err := sn.pnodes[i].Start(); err != nil {
+				t.Errorf("pastry start: %v", err)
+			}
+			if err := sn.nodes[i].Start(); err != nil {
+				t.Errorf("scribe start: %v", err)
+			}
+		}
+	})
+	// Scribe's periodic repair keeps the event queue non-empty: drive the
+	// clock by a bounded amount instead of draining.
+	k.RunFor(time.Second)
+	if err := pastry.BuildNetwork(sn.pnodes, pastry.BuildOptions{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	sn := buildScribe(t, 48)
+	g := GroupOf("news")
+	received := map[int]int{}
+	for i, node := range sn.nodes {
+		i := i
+		node.OnDeliver = func(GroupID, json.RawMessage) { received[i]++ }
+	}
+	sn.k.Go(func() {
+		for _, node := range sn.nodes {
+			node.Subscribe(g)
+		}
+	})
+	sn.k.RunFor(time.Minute)
+	sn.k.Go(func() {
+		if err := sn.nodes[7].Publish(g, map[string]string{"headline": "splay"}); err != nil {
+			t.Errorf("publish: %v", err)
+		}
+	})
+	sn.k.RunFor(5 * time.Minute)
+
+	for i := range sn.nodes {
+		if received[i] != 1 {
+			t.Fatalf("node %d received %d copies", i, received[i])
+		}
+	}
+}
+
+func TestNonSubscribersDoNotDeliver(t *testing.T) {
+	sn := buildScribe(t, 24)
+	g := GroupOf("private")
+	sn.k.Go(func() {
+		for _, node := range sn.nodes[:8] {
+			node.Subscribe(g)
+		}
+	})
+	sn.k.RunFor(time.Minute)
+	sn.k.Go(func() {
+		sn.nodes[0].Publish(g, "msg") //nolint:errcheck
+	})
+	sn.k.RunFor(2 * time.Minute)
+	for i, node := range sn.nodes {
+		want := uint64(0)
+		if i < 8 {
+			want = 1
+		}
+		if node.Delivered != want {
+			t.Fatalf("node %d delivered %d, want %d", i, node.Delivered, want)
+		}
+	}
+}
+
+func TestTreeUsesForwarders(t *testing.T) {
+	sn := buildScribe(t, 48)
+	g := GroupOf("wide")
+	sn.k.Go(func() {
+		for _, node := range sn.nodes {
+			node.Subscribe(g)
+		}
+	})
+	sn.k.RunFor(time.Minute)
+	// The dissemination structure must be a tree: total children across
+	// nodes ≈ member count, not a star at the root.
+	totalChildren, maxChildren := 0, 0
+	for _, node := range sn.nodes {
+		c := node.Children(g)
+		totalChildren += c
+		if c > maxChildren {
+			maxChildren = c
+		}
+	}
+	if totalChildren < len(sn.nodes)-1 {
+		t.Fatalf("tree has %d edges for %d members", totalChildren, len(sn.nodes))
+	}
+	if maxChildren >= len(sn.nodes)-1 {
+		t.Fatalf("root fans out to everyone (%d children): no tree structure", maxChildren)
+	}
+}
+
+func TestGroupOfDeterministic(t *testing.T) {
+	if GroupOf("a") != GroupOf("a") || GroupOf("a") == GroupOf("b") {
+		t.Fatal("GroupOf not a stable hash")
+	}
+}

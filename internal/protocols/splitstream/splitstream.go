@@ -1,0 +1,117 @@
+// Package splitstream implements SplitStream-style high-bandwidth
+// multicast over Pastry and Scribe (§5.1): content is striped across k
+// Scribe groups whose identifiers start with k distinct digits, so the
+// per-stripe trees have (largely) disjoint interior nodes and the
+// forwarding load spreads across the membership.
+package splitstream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/protocols/scribe"
+)
+
+// Block is one striped content unit.
+type Block struct {
+	Seq  int    `json:"seq"`
+	Data []byte `json:"data"`
+}
+
+// Config parameterizes a SplitStream session.
+type Config struct {
+	// Stripes is k, the number of per-digit stripes (≤ pastry.Radix).
+	Stripes int
+	// StreamID names the stream; stripe groups derive from it.
+	StreamID string
+}
+
+// DefaultConfig uses 16 stripes, one per identifier digit.
+func DefaultConfig(stream string) Config {
+	return Config{Stripes: pastry.Radix, StreamID: stream}
+}
+
+// StripeGroups derives the k stripe group identifiers: the stream hash
+// with the leading digit forced to each possible value, which is what
+// makes the trees' interiors disjoint in SplitStream.
+func StripeGroups(cfg Config) []scribe.GroupID {
+	base := scribe.GroupOf(cfg.StreamID)
+	groups := make([]scribe.GroupID, cfg.Stripes)
+	for i := 0; i < cfg.Stripes; i++ {
+		groups[i] = (base & (^pastry.ID(0) >> pastry.DigitBits)) |
+			(pastry.ID(i) << (64 - pastry.DigitBits))
+	}
+	return groups
+}
+
+// Node is one SplitStream participant.
+type Node struct {
+	ctx     *core.AppContext
+	cfg     Config
+	scribe  *scribe.Node
+	stripes []scribe.GroupID
+
+	// OnBlock runs for every received block (stripe, block).
+	OnBlock func(stripe int, b Block)
+	// Received counts blocks delivered locally.
+	Received uint64
+}
+
+// New layers a SplitStream node over a started Scribe node.
+func New(ctx *core.AppContext, sc *scribe.Node, cfg Config) (*Node, error) {
+	if cfg.Stripes <= 0 || cfg.Stripes > pastry.Radix {
+		return nil, fmt.Errorf("splitstream: stripes must be in [1,%d]", pastry.Radix)
+	}
+	n := &Node{ctx: ctx, cfg: cfg, scribe: sc, stripes: StripeGroups(cfg)}
+	sc.OnDeliver = n.onDeliver
+	return n, nil
+}
+
+// Join subscribes to every stripe.
+func (n *Node) Join() {
+	for _, g := range n.stripes {
+		n.scribe.Subscribe(g)
+	}
+}
+
+// Publish stripes a block across the groups round-robin by sequence
+// number, the policy §5.7's tree experiment also uses.
+func (n *Node) Publish(b Block) error {
+	g := n.stripes[b.Seq%n.cfg.Stripes]
+	return n.scribe.Publish(g, b)
+}
+
+func (n *Node) onDeliver(g scribe.GroupID, payload json.RawMessage) {
+	stripe := -1
+	for i, sg := range n.stripes {
+		if sg == g {
+			stripe = i
+			break
+		}
+	}
+	if stripe < 0 {
+		return // not one of ours
+	}
+	var b Block
+	if err := json.Unmarshal(payload, &b); err != nil {
+		return
+	}
+	n.Received++
+	if n.OnBlock != nil {
+		n.OnBlock(stripe, b)
+	}
+}
+
+// InteriorLoad reports how many stripe trees this node forwards for (its
+// interior membership count), the quantity SplitStream balances.
+func (n *Node) InteriorLoad() int {
+	load := 0
+	for _, g := range n.stripes {
+		if n.scribe.Children(g) > 0 {
+			load++
+		}
+	}
+	return load
+}

@@ -1,0 +1,124 @@
+package splitstream
+
+import (
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/protocols/scribe"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func buildSplitStream(t *testing.T, n, stripes int) (*sim.Kernel, []*Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond}, n, 1)
+	rt := core.NewSimRuntime(k, 1)
+	var pnodes []*pastry.Node
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: 9000}
+		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
+		p := pastry.New(ctx, pastry.DefaultConfig())
+		sc := scribe.New(ctx, p, scribe.DefaultConfig())
+		cfg := DefaultConfig("stream-1")
+		cfg.Stripes = stripes
+		ss, err := New(ctx, sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pnodes = append(pnodes, p)
+		nodes = append(nodes, ss)
+		scNode := sc
+		k.Go(func() {
+			if err := p.Start(); err != nil {
+				t.Errorf("pastry start: %v", err)
+			}
+			if err := scNode.Start(); err != nil {
+				t.Errorf("scribe start: %v", err)
+			}
+		})
+	}
+	// Scribe's periodic repair keeps the queue alive: bounded run.
+	k.RunFor(time.Second)
+	if err := pastry.BuildNetwork(pnodes, pastry.BuildOptions{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return k, nodes
+}
+
+func TestStripeGroupsHaveDistinctFirstDigits(t *testing.T) {
+	groups := StripeGroups(DefaultConfig("s"))
+	seen := map[int]bool{}
+	for _, g := range groups {
+		d := g.Digit(0)
+		if seen[d] {
+			t.Fatalf("duplicate leading digit %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != pastry.Radix {
+		t.Fatalf("%d distinct digits, want %d", len(seen), pastry.Radix)
+	}
+}
+
+func TestAllBlocksReachAllMembers(t *testing.T) {
+	const n, stripes, blocks = 32, 4, 16
+	k, nodes := buildSplitStream(t, n, stripes)
+	got := make([]map[int]bool, n)
+	for i, node := range nodes {
+		i := i
+		got[i] = map[int]bool{}
+		node.OnBlock = func(stripe int, b Block) { got[i][b.Seq] = true }
+	}
+	k.Go(func() {
+		for _, node := range nodes {
+			node.Join()
+		}
+	})
+	k.RunFor(time.Minute)
+	k.Go(func() {
+		for s := 0; s < blocks; s++ {
+			if err := nodes[0].Publish(Block{Seq: s, Data: []byte{byte(s)}}); err != nil {
+				t.Errorf("publish %d: %v", s, err)
+			}
+		}
+	})
+	k.RunFor(5 * time.Minute)
+
+	for i := range nodes {
+		if len(got[i]) != blocks {
+			t.Fatalf("node %d received %d/%d blocks", i, len(got[i]), blocks)
+		}
+	}
+}
+
+func TestInteriorLoadIsSpread(t *testing.T) {
+	const n, stripes = 48, 8
+	k, nodes := buildSplitStream(t, n, stripes)
+	k.Go(func() {
+		for _, node := range nodes {
+			node.Join()
+		}
+	})
+	k.RunFor(2 * time.Minute)
+	// SplitStream's point: forwarding load spreads over many nodes
+	// rather than concentrating on a few interior nodes.
+	loaded := 0
+	for _, node := range nodes {
+		if node.InteriorLoad() > 0 {
+			loaded++
+		}
+	}
+	if loaded < n/3 {
+		t.Fatalf("only %d/%d nodes carry interior load", loaded, n)
+	}
+	for i, node := range nodes {
+		if node.InteriorLoad() == stripes {
+			t.Logf("node %d interior in all stripes (acceptable but rare)", i)
+		}
+	}
+}

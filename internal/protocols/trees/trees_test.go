@@ -1,0 +1,185 @@
+package trees
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func TestBuildTreesStructure(t *testing.T) {
+	const nodes, fanout, k = 64, 2, 2
+	ch := BuildTrees(nodes, fanout, k)
+	if len(ch) != k {
+		t.Fatalf("trees = %d", len(ch))
+	}
+	for tr := 0; tr < k; tr++ {
+		// Every non-source node appears exactly once as a child.
+		seen := map[int]int{}
+		for p := 0; p < nodes; p++ {
+			for _, c := range ch[tr][p] {
+				seen[c]++
+			}
+		}
+		for i := 1; i < nodes; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("tree %d: node %d appears %d times", tr, i, seen[i])
+			}
+		}
+		// Fanout respected (the source feeds one root).
+		if len(ch[tr][0]) != 1 {
+			t.Fatalf("tree %d: source has %d children", tr, len(ch[tr][0]))
+		}
+		for p := 1; p < nodes; p++ {
+			if len(ch[tr][p]) > fanout {
+				t.Fatalf("tree %d: node %d has %d children", tr, p, len(ch[tr][p]))
+			}
+		}
+	}
+	// SplitStream property: a node with children in tree t must be a
+	// designated inner node for t (i mod k == t).
+	for tr := 0; tr < k; tr++ {
+		for p := 1; p < nodes; p++ {
+			if len(ch[tr][p]) > 0 && p%k != tr {
+				t.Fatalf("node %d is inner in tree %d but assigned to tree %d", p, tr, p%k)
+			}
+		}
+	}
+}
+
+func TestQuickBuildTreesCoverAllNodes(t *testing.T) {
+	f := func(n, fanout, k uint8) bool {
+		nodes := int(n)%60 + 3
+		fo := int(fanout)%3 + 1
+		trees := int(k)%3 + 1
+		ch := BuildTrees(nodes, fo, trees)
+		for tr := 0; tr < trees; tr++ {
+			seen := map[int]bool{}
+			var walk func(p int)
+			walk = func(p int) {
+				for _, c := range ch[tr][p] {
+					if seen[c] {
+						return
+					}
+					seen[c] = true
+					walk(c)
+				}
+			}
+			walk(0)
+			if len(seen) != nodes-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runSession(t *testing.T, cfg Config, bps float64) (*Session, *sim.Kernel) {
+	t.Helper()
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond, Bps: bps}, cfg.Nodes, 1)
+	rt := core.NewSimRuntime(k, 1)
+	var ctxs []*core.AppContext
+	for i := 0; i < cfg.Nodes; i++ {
+		addr := transport.Addr{Host: simnet.HostName(i), Port: cfg.Port}
+		ctxs = append(ctxs, core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr, Position: i + 1}, nil))
+	}
+	var sess *Session
+	k.Go(func() {
+		var err error
+		sess, err = NewSession(cfg, ctxs)
+		if err != nil {
+			t.Errorf("session: %v", err)
+			return
+		}
+		if err := sess.Start(); err != nil {
+			t.Errorf("start: %v", err)
+		}
+	})
+	k.RunFor(30 * time.Minute)
+	return sess, k
+}
+
+func TestDisseminationCompletes(t *testing.T) {
+	cfg := Config{Nodes: 16, Fanout: 2, Trees: 2, FileSize: 1 << 20, BlockSize: 64 << 10, Port: 7000}
+	sess, _ := runSession(t, cfg, 1<<20)
+	if sess.Completed() != cfg.Nodes-1 {
+		t.Fatalf("completed = %d, want %d", sess.Completed(), cfg.Nodes-1)
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if sess.Completions[i].IsZero() {
+			t.Fatalf("node %d never completed", i)
+		}
+	}
+}
+
+func TestSequentialCompletes(t *testing.T) {
+	cfg := Config{Nodes: 16, Fanout: 2, Trees: 2, FileSize: 1 << 20, BlockSize: 64 << 10, Port: 7000, Sequential: true}
+	sess, _ := runSession(t, cfg, 1<<20)
+	if sess.Completed() != cfg.Nodes-1 {
+		t.Fatalf("completed = %d, want %d", sess.Completed(), cfg.Nodes-1)
+	}
+}
+
+func TestThroughputBoundedByBandwidth(t *testing.T) {
+	// 1 MB through trees on 1 MB/s links: the file cannot arrive faster
+	// than size/bw plus propagation, and should not take more than a few
+	// multiples of it.
+	cfg := Config{Nodes: 8, Fanout: 2, Trees: 2, FileSize: 1 << 20, BlockSize: 128 << 10, Port: 7000}
+	sess, k := runSession(t, cfg, 1<<20)
+	if sess.Completed() != cfg.Nodes-1 {
+		t.Fatalf("incomplete: %d", sess.Completed())
+	}
+	var last time.Time
+	for i := 1; i < cfg.Nodes; i++ {
+		if sess.Completions[i].After(last) {
+			last = sess.Completions[i]
+		}
+	}
+	elapsed := last.Sub(sim.Epoch)
+	if elapsed < time.Second {
+		t.Fatalf("finished in %s, faster than line rate", elapsed)
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("finished in %s, far beyond line rate", elapsed)
+	}
+	_ = k
+}
+
+func TestParallelBeatsSequentialIntermediate(t *testing.T) {
+	// With saturated links the last completion is similar, but sequential
+	// sending (CRCP) delays the second child of each node: intermediate
+	// completions arrive later on average. This is the Fig. 13 shape.
+	base := Config{Nodes: 32, Fanout: 2, Trees: 2, FileSize: 4 << 20, BlockSize: 256 << 10, Port: 7000}
+	par, _ := runSession(t, base, 1<<20)
+	seq := base
+	seq.Sequential = true
+	ser, _ := runSession(t, seq, 1<<20)
+
+	if par.Completed() != 31 || ser.Completed() != 31 {
+		t.Fatalf("incomplete runs: %d / %d", par.Completed(), ser.Completed())
+	}
+	mean := func(s *Session) time.Duration {
+		var sum time.Duration
+		for i := 1; i < base.Nodes; i++ {
+			sum += s.Completions[i].Sub(sim.Epoch)
+		}
+		return sum / time.Duration(base.Nodes-1)
+	}
+	mp, ms := mean(par), mean(ser)
+	// The two policies must be in the same ballpark (paper: "similar
+	// results") with sequential no faster on average.
+	if mp > ms*3/2 {
+		t.Fatalf("parallel mean %s much worse than sequential %s", mp, ms)
+	}
+	if ms < mp*9/10 {
+		t.Fatalf("sequential mean %s implausibly beats parallel %s", ms, mp)
+	}
+}

@@ -1,0 +1,200 @@
+package webcache
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/rpc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Config parameterizes a cache node; defaults match §5.7.
+type Config struct {
+	// MaxEntries bounds the local store (paper: 100).
+	MaxEntries int
+	// TTL expires entries (paper: 120 s).
+	TTL time.Duration
+	// OriginDelay simulates a non-cached fetch from the origin server;
+	// the paper measures 1–2 s on average. nil uses a 1.5 s constant.
+	OriginDelay func(url string) time.Duration
+	// Port is the cache RPC port (distinct from Pastry's).
+	Port int
+	// RPCTimeout bounds cache calls.
+	RPCTimeout time.Duration
+}
+
+// DefaultConfig matches the paper's experiment.
+func DefaultConfig() Config {
+	return Config{
+		MaxEntries: 100,
+		TTL:        120 * time.Second,
+		Port:       9100,
+		RPCTimeout: 30 * time.Second,
+	}
+}
+
+// Stats counts cache activity at one node.
+type Stats struct {
+	Requests uint64 // client requests issued from this node
+	Hits     uint64 // answered from some home node's store
+	Misses   uint64 // required an origin fetch
+	Stored   uint64 // objects stored at this node (as home)
+}
+
+// GetResult describes one proxied request.
+type GetResult struct {
+	Hit   bool
+	Delay time.Duration
+}
+
+// Cache is one cooperative-cache node layered over a Pastry node.
+type Cache struct {
+	ctx    *core.AppContext
+	cfg    Config
+	pastry *pastry.Node
+	store  *lruCache
+	client *rpc.Client
+	server *rpc.Server
+	stats  Stats
+}
+
+// New creates a cache node over an already started Pastry node.
+func New(ctx *core.AppContext, p *pastry.Node, cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 100
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 120 * time.Second
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 9100
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 30 * time.Second
+	}
+	c := &Cache{
+		ctx:    ctx,
+		cfg:    cfg,
+		pastry: p,
+		store:  newLRUCache(cfg.MaxEntries, cfg.TTL),
+	}
+	c.client = rpc.NewClient(ctx)
+	c.client.Timeout = cfg.RPCTimeout
+	return c
+}
+
+// Stats returns a copy of the node's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Start serves the cache RPC interface.
+func (c *Cache) Start() error {
+	s := rpc.NewServer(c.ctx)
+	s.Register("cache_get", c.handleCacheGet)
+	if err := s.Start(c.cfg.Port); err != nil {
+		return err
+	}
+	c.server = s
+	return nil
+}
+
+// Stop closes the RPC server.
+func (c *Cache) Stop() {
+	if c.server != nil {
+		c.server.Close()
+	}
+}
+
+// URLKey hashes a URL into the Pastry identifier space (the home node).
+func URLKey(url string) pastry.ID {
+	sum := sha1.Sum([]byte(url))
+	return pastry.ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// cacheReply travels on the wire for cache_get.
+type cacheReply struct {
+	Hit  bool `json:"hit"`
+	Size int  `json:"size"`
+}
+
+// handleCacheGet runs at the home node: serve locally or fetch from the
+// origin and store.
+func (c *Cache) handleCacheGet(args rpc.Args) (any, error) {
+	url := args.String(0)
+	if url == "" {
+		return nil, fmt.Errorf("webcache: empty url")
+	}
+	now := c.ctx.Now()
+	if c.store.get(url, now) {
+		return cacheReply{Hit: true, Size: 0}, nil
+	}
+	// Origin fetch (simulated).
+	delay := 1500 * time.Millisecond
+	if c.cfg.OriginDelay != nil {
+		delay = c.cfg.OriginDelay(url)
+	}
+	c.ctx.Sleep(delay)
+	c.store.put(url, 8<<10, c.ctx.Now())
+	c.stats.Stored++
+	return cacheReply{Hit: false, Size: 8 << 10}, nil
+}
+
+// cacheAddr maps a Pastry peer to its cache RPC endpoint (same host,
+// cache port).
+func (c *Cache) cacheAddr(ref pastry.NodeRef) transport.Addr {
+	return transport.Addr{Host: ref.Addr.Host, Port: c.cfg.Port}
+}
+
+// Get proxies one client request through the cooperative cache: route to
+// the URL's home node, then ask it for the object. The returned delay is
+// what a browser pointed at this proxy would observe (Fig. 14's metric).
+func (c *Cache) Get(url string) (GetResult, error) {
+	c.stats.Requests++
+	start := c.ctx.Now()
+	key := URLKey(url)
+
+	var home pastry.NodeRef
+	if next, root := c.pastry.NextHop(key); root {
+		home = next
+	} else {
+		res, err := c.pastry.Route(key)
+		if err != nil {
+			return GetResult{}, fmt.Errorf("webcache: route: %w", err)
+		}
+		home = res.Root
+	}
+
+	var reply cacheReply
+	if home.Addr == c.pastry.Self().Addr {
+		r, err := c.handleCacheGet(rpc.Args{mustJSON(url)})
+		if err != nil {
+			return GetResult{}, err
+		}
+		reply = r.(cacheReply)
+	} else {
+		res, err := c.client.Call(c.cacheAddr(home), "cache_get", url)
+		if err != nil {
+			return GetResult{}, fmt.Errorf("webcache: home %s: %w", home, err)
+		}
+		if err := res.Decode(&reply); err != nil {
+			return GetResult{}, err
+		}
+	}
+	if reply.Hit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return GetResult{Hit: reply.Hit, Delay: c.ctx.Now().Sub(start)}, nil
+}
+
+func mustJSON(v any) []byte {
+	data, err := rpc.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

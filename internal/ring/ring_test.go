@@ -1,0 +1,126 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBetweenBasics(t *testing.T) {
+	s := NewSpace(8) // ids 0..255
+	cases := []struct {
+		x, a, b      uint64
+		inclA, inclB bool
+		want         bool
+	}{
+		{5, 0, 10, false, false, true},
+		{0, 0, 10, false, false, false},
+		{0, 0, 10, true, false, true},
+		{10, 0, 10, false, true, true},
+		{10, 0, 10, false, false, false},
+		{250, 200, 10, false, false, true}, // wraps
+		{5, 200, 10, false, false, true},   // wraps
+		{100, 200, 10, false, false, false},
+		{42, 42, 42, false, false, false}, // degenerate, x == bounds
+		{43, 42, 42, false, false, true},  // full circle
+	}
+	for _, c := range cases {
+		if got := s.Between(c.x, c.a, c.b, c.inclA, c.inclB); got != c.want {
+			t.Errorf("Between(%d, %d, %d, %v, %v) = %v, want %v",
+				c.x, c.a, c.b, c.inclA, c.inclB, got, c.want)
+		}
+	}
+}
+
+func TestAddSubDist(t *testing.T) {
+	s := NewSpace(8)
+	if s.Add(250, 10) != 4 {
+		t.Errorf("Add wrap: %d", s.Add(250, 10))
+	}
+	if s.Sub(4, 250) != 10 {
+		t.Errorf("Sub wrap: %d", s.Sub(4, 250))
+	}
+	if s.Dist(250, 4) != 10 {
+		t.Errorf("Dist wrap: %d", s.Dist(250, 4))
+	}
+	if s.Dist(4, 250) != 246 {
+		t.Errorf("Dist: %d", s.Dist(4, 250))
+	}
+}
+
+func TestFingerStart(t *testing.T) {
+	s := NewSpace(24)
+	if s.FingerStart(0, 1) != 1 {
+		t.Errorf("finger 1 start = %d", s.FingerStart(0, 1))
+	}
+	if s.FingerStart(0, 24) != 1<<23 {
+		t.Errorf("finger 24 start = %d", s.FingerStart(0, 24))
+	}
+	if s.FingerStart(s.Mask(), 1) != 0 {
+		t.Errorf("finger wrap = %d", s.FingerStart(s.Mask(), 1))
+	}
+}
+
+func TestHashStringInSpace(t *testing.T) {
+	s := NewSpace(24)
+	for _, v := range []string{"n0:8000", "n1:8000", "x"} {
+		if h := s.HashString(v); h > s.Mask() {
+			t.Errorf("hash %d out of space", h)
+		}
+	}
+	if s.HashString("a") == s.HashString("b") {
+		t.Error("suspicious hash collision")
+	}
+}
+
+// Property: exactly one of "x in (a,b)" and "x in (b,a)" holds for
+// distinct x, a, b (circular trichotomy).
+func TestQuickBetweenPartition(t *testing.T) {
+	s := NewSpace(16)
+	f := func(x, a, b uint16) bool {
+		X, A, B := uint64(x), uint64(a), uint64(b)
+		if X == A || X == B || A == B {
+			return true
+		}
+		in1 := s.Between(X, A, B, false, false)
+		in2 := s.Between(X, B, A, false, false)
+		return in1 != in2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dist(a,b) + Dist(b,a) == 2^m for a != b, and Between respects
+// distance ordering.
+func TestQuickDistance(t *testing.T) {
+	s := NewSpace(16)
+	f := func(a, b uint16) bool {
+		A, B := uint64(a), uint64(b)
+		if A == B {
+			return s.Dist(A, B) == 0
+		}
+		return s.Dist(A, B)+s.Dist(B, A) == uint64(1)<<16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Between(x,a,b) implies Dist(a,x) < Dist(a,b) for exclusive
+// bounds.
+func TestQuickBetweenDistanceConsistency(t *testing.T) {
+	s := NewSpace(16)
+	f := func(x, a, b uint16) bool {
+		X, A, B := uint64(x), uint64(a), uint64(b)
+		if X == A || X == B || A == B {
+			return true
+		}
+		if s.Between(X, A, B, false, false) {
+			return s.Dist(A, X) < s.Dist(A, B)
+		}
+		return s.Dist(A, X) > s.Dist(A, B)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

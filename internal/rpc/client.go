@@ -1,0 +1,238 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Client issues calls to remote servers. It is owned by one application
+// instance; its pooled connections are tracked by the instance context and
+// die with it.
+type Client struct {
+	ctx *core.AppContext
+
+	// Timeout applies to Call; CallTimeout overrides it per call.
+	Timeout time.Duration
+	// DropRate silently discards this fraction of outgoing requests,
+	// the paper's mechanism for simulating lossy links at the library
+	// level (the call then fails by timeout).
+	DropRate float64
+
+	pooling bool
+	peers   map[string]*peerConn
+}
+
+// NewClient returns a client with the paper's default two-minute timeout
+// and pooling enabled.
+func NewClient(ctx *core.AppContext) *Client {
+	return &Client{ctx: ctx, Timeout: DefaultTimeout, pooling: true, peers: make(map[string]*peerConn)}
+}
+
+// SetPooling toggles connection reuse (ablation: one connection per call
+// versus multiplexing).
+func (c *Client) SetPooling(on bool) { c.pooling = on }
+
+// Call invokes method on the server at to and decodes nothing: use the
+// returned Result. It fails with ErrTimeout after the client timeout, the
+// paper's a_call status semantics.
+func (c *Client) Call(to transport.Addr, method string, args ...any) (Result, error) {
+	return c.CallTimeout(to, c.Timeout, method, args...)
+}
+
+// CallTimeout is Call with an explicit timeout.
+func (c *Client) CallTimeout(to transport.Addr, timeout time.Duration, method string, args ...any) (Result, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if c.DropRate > 0 && c.ctx.Rand().Float64() < c.DropRate {
+		// Simulated loss: the request vanishes and the caller times out.
+		c.ctx.Sleep(timeout)
+		return nil, ErrTimeout
+	}
+	// The timeout budget covers the whole call, dialing included.
+	start := c.ctx.Now()
+	pc, err := c.peer(to, timeout)
+	if err != nil {
+		return nil, err
+	}
+	remaining := timeout - c.ctx.Now().Sub(start)
+	if remaining <= 0 {
+		return nil, ErrTimeout
+	}
+	return pc.call(remaining, method, args)
+}
+
+// Ping checks liveness (the paper's rpc.ping) and returns the round-trip
+// time.
+func (c *Client) Ping(to transport.Addr, timeout time.Duration) (time.Duration, error) {
+	start := c.ctx.Now()
+	if _, err := c.CallTimeout(to, timeout, pingMethod); err != nil {
+		return 0, err
+	}
+	return c.ctx.Now().Sub(start), nil
+}
+
+// peer returns a live pooled connection to the destination, dialing one if
+// needed. Without pooling it always dials a fresh connection.
+func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, error) {
+	if !c.pooling {
+		pc := newPeerConn(c, to, false)
+		pc.dial(timeout)
+		return pc, pc.err
+	}
+	key := to.String()
+	pc, ok := c.peers[key]
+	if ok && !pc.broken {
+		if pc.ready {
+			return pc, nil
+		}
+		// Another task is dialing; wait for the verdict.
+		w := c.ctx.NewWaiter()
+		w.WakeAfter(timeout, error(ErrTimeout))
+		pc.dialWaiters = append(pc.dialWaiters, w)
+		if v := w.Wait(); v != nil {
+			return nil, v.(error)
+		}
+		return pc, nil
+	}
+	pc = newPeerConn(c, to, true)
+	c.peers[key] = pc
+	pc.dial(timeout)
+	if pc.err != nil {
+		return nil, pc.err
+	}
+	return pc, nil
+}
+
+// peerConn multiplexes calls to one destination over one stream.
+type peerConn struct {
+	client *Client
+	to     transport.Addr
+	pooled bool
+
+	conn  transport.Conn
+	enc   *llenc.Writer
+	wlock *core.Lock
+
+	ready       bool
+	broken      bool
+	err         error
+	dialWaiters []core.Waiter
+
+	nextID  uint64
+	pending map[uint64]core.Waiter
+}
+
+func newPeerConn(c *Client, to transport.Addr, pooled bool) *peerConn {
+	return &peerConn{
+		client:  c,
+		to:      to,
+		pooled:  pooled,
+		wlock:   core.NewLock(c.ctx.Runtime()),
+		pending: make(map[uint64]core.Waiter),
+	}
+}
+
+func (p *peerConn) dial(timeout time.Duration) {
+	conn, err := p.client.ctx.Node().Dial(p.to, timeout)
+	if err != nil {
+		p.fail(fmt.Errorf("rpc: dial %s: %w", p.to, err))
+		return
+	}
+	p.conn = conn
+	p.client.ctx.Track(conn)
+	p.enc = llenc.NewWriter(conn)
+	p.ready = true
+	for _, w := range p.dialWaiters {
+		w.Wake(nil)
+	}
+	p.dialWaiters = nil
+	p.client.ctx.Go(p.readLoop)
+}
+
+// fail marks the connection dead and propagates the error to every waiter.
+func (p *peerConn) fail(err error) {
+	if p.broken {
+		return
+	}
+	p.broken = true
+	p.err = err
+	if p.pooled {
+		delete(p.client.peers, p.to.String())
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	for _, w := range p.dialWaiters {
+		w.Wake(err)
+	}
+	p.dialWaiters = nil
+	for id, w := range p.pending {
+		delete(p.pending, id)
+		w.Wake(err)
+	}
+}
+
+func (p *peerConn) readLoop() {
+	dec := llenc.NewReader(p.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
+			return
+		}
+		w, ok := p.pending[resp.ID]
+		if !ok {
+			continue // response after the caller timed out
+		}
+		delete(p.pending, resp.ID)
+		w.Wake(resp)
+	}
+}
+
+func (p *peerConn) call(timeout time.Duration, method string, args []any) (Result, error) {
+	if p.broken {
+		return nil, p.err
+	}
+	p.nextID++
+	id := p.nextID
+	w := p.client.ctx.NewWaiter()
+	w.WakeAfter(timeout, error(ErrTimeout))
+	p.pending[id] = w
+
+	p.wlock.Lock()
+	err := p.enc.Encode(request{ID: id, Method: method, Args: args})
+	p.wlock.Unlock()
+	if err != nil {
+		delete(p.pending, id)
+		p.fail(fmt.Errorf("rpc: send to %s: %w", p.to, err))
+		return nil, p.err
+	}
+
+	switch v := w.Wait().(type) {
+	case response:
+		if !p.pooled {
+			p.conn.Close()
+		}
+		if v.Err != "" {
+			return nil, &RemoteError{Msg: v.Err}
+		}
+		return Result(v.Result), nil
+	case error:
+		delete(p.pending, id)
+		if !p.pooled {
+			p.conn.Close()
+		}
+		return nil, v
+	default:
+		return nil, fmt.Errorf("rpc: internal: unexpected wake %T", v)
+	}
+}
+
+// Marshal is a helper for handlers that want to return a raw JSON payload.
+func Marshal(v any) (json.RawMessage, error) { return json.Marshal(v) }

@@ -1,0 +1,209 @@
+// Package rpc implements SPLAY's RPC library: named remote procedures with
+// transparent JSON serialization over stream transports, framed by llenc.
+//
+// The API mirrors the paper's usage. A server registers handlers by name;
+// clients invoke them with positional arguments. Call is the paper's
+// rpc.call; errors (including timeouts, the paper's rpc.a_call status
+// return) come back as Go errors. Ping is the paper's rpc.ping.
+//
+// Clients keep a small pool of connections, multiplexing concurrent calls
+// to one destination over a single stream; SetPooling(false) disables the
+// pool for ablation experiments.
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// DefaultTimeout matches the paper's standard RPC timeout of two minutes.
+const DefaultTimeout = 2 * time.Minute
+
+// ErrTimeout is returned when a call's timeout expires before a response.
+var ErrTimeout = transport.ErrTimeout
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// pingMethod is the reserved method Ping uses.
+const pingMethod = "__ping"
+
+type request struct {
+	ID     uint64 `json:"id"`
+	Method string `json:"m"`
+	Args   []any  `json:"a,omitempty"`
+}
+
+type response struct {
+	ID     uint64          `json:"id"`
+	Err    string          `json:"e,omitempty"`
+	Result json.RawMessage `json:"r,omitempty"`
+}
+
+// Args gives handlers typed access to positional call arguments.
+type Args []json.RawMessage
+
+// Len returns the number of arguments.
+func (a Args) Len() int { return len(a) }
+
+// Decode unmarshals argument i into v.
+func (a Args) Decode(i int, v any) error {
+	if i < 0 || i >= len(a) {
+		return fmt.Errorf("rpc: argument %d out of range (%d args)", i, len(a))
+	}
+	return json.Unmarshal(a[i], v)
+}
+
+// String returns argument i as a string (empty on mismatch).
+func (a Args) String(i int) string {
+	var s string
+	a.Decode(i, &s) //nolint:errcheck // zero value on mismatch is the contract
+	return s
+}
+
+// Int returns argument i as an int (zero on mismatch).
+func (a Args) Int(i int) int {
+	var n int
+	a.Decode(i, &n) //nolint:errcheck
+	return n
+}
+
+// Result is a call's decoded return payload.
+type Result json.RawMessage
+
+// Decode unmarshals the result into v.
+func (r Result) Decode(v any) error {
+	if len(r) == 0 {
+		return errors.New("rpc: empty result")
+	}
+	return json.Unmarshal([]byte(r), v)
+}
+
+// Handler executes one remote procedure. Handlers run as tasks and may
+// block (issue nested RPCs, sleep, perform I/O).
+type Handler func(args Args) (any, error)
+
+// Server dispatches incoming calls to registered handlers.
+type Server struct {
+	ctx      *core.AppContext
+	handlers map[string]Handler
+	ln       transport.Listener
+	closed   bool
+}
+
+// NewServer returns a server bound to the instance context. The reserved
+// ping method is pre-registered.
+func NewServer(ctx *core.AppContext) *Server {
+	s := &Server{ctx: ctx, handlers: make(map[string]Handler)}
+	s.handlers[pingMethod] = func(Args) (any, error) { return "pong", nil }
+	return s
+}
+
+// Register installs a handler under name, replacing any previous one.
+func (s *Server) Register(name string, h Handler) { s.handlers[name] = h }
+
+// Start listens on port (the paper's rpc.server(n.port)) and serves calls
+// until the server or instance is closed.
+func (s *Server) Start(port int) error {
+	ln, err := s.ctx.Node().Listen(port)
+	if err != nil {
+		return fmt.Errorf("rpc: listen: %w", err)
+	}
+	s.ln = ln
+	s.ctx.Track(ln)
+	s.ctx.Go(func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.ctx.Track(conn)
+			s.ctx.Go(func() { s.serveConn(conn) })
+		}
+	})
+	return nil
+}
+
+// Addr returns the bound address (zero before Start).
+func (s *Server) Addr() transport.Addr {
+	if s.ln == nil {
+		return transport.Addr{}
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting calls.
+func (s *Server) Close() error {
+	s.closed = true
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer conn.Close()
+	dec := llenc.NewReader(conn)
+	enc := llenc.NewWriter(conn)
+	wlock := core.NewLock(s.ctx.Runtime())
+	for {
+		payload, err := dec.ReadMessage()
+		if err != nil {
+			return
+		}
+		var req struct {
+			ID     uint64          `json:"id"`
+			Method string          `json:"m"`
+			Args   json.RawMessage `json:"a"`
+		}
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return // framing is broken; drop the connection
+		}
+		var args Args
+		if len(req.Args) > 0 {
+			if err := json.Unmarshal(req.Args, &args); err != nil {
+				s.reply(enc, wlock, response{ID: req.ID, Err: "rpc: malformed arguments"})
+				continue
+			}
+		}
+		h, ok := s.handlers[req.Method]
+		if !ok {
+			s.reply(enc, wlock, response{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)})
+			continue
+		}
+		id := req.ID
+		// Handlers run as their own task so they may block; the connection
+		// keeps serving other requests meanwhile.
+		s.ctx.Go(func() {
+			resp := response{ID: id}
+			result, err := h(args)
+			if err != nil {
+				resp.Err = err.Error()
+			} else if result != nil {
+				raw, merr := json.Marshal(result)
+				if merr != nil {
+					resp.Err = "rpc: unserializable result: " + merr.Error()
+				} else {
+					resp.Result = raw
+				}
+			}
+			s.reply(enc, wlock, resp)
+		})
+	}
+}
+
+func (s *Server) reply(enc *llenc.Writer, wlock *core.Lock, resp response) {
+	wlock.Lock()
+	defer wlock.Unlock()
+	enc.Encode(resp) //nolint:errcheck // a dead conn is detected by the read loop
+}

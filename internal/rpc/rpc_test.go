@@ -1,0 +1,318 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+type env struct {
+	k  *sim.Kernel
+	nw *simnet.Network
+	rt *core.SimRuntime
+}
+
+func newEnv(t *testing.T, hosts int) *env {
+	t.Helper()
+	k := sim.NewKernel()
+	return &env{
+		k:  k,
+		nw: simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond}, hosts, 1),
+		rt: core.NewSimRuntime(k, 1),
+	}
+}
+
+func (e *env) ctx(host int) *core.AppContext {
+	return core.NewAppContext(e.rt, e.nw.Node(host), core.JobInfo{}, nil)
+}
+
+func startEchoServer(t *testing.T, ctx *core.AppContext, port int) *Server {
+	t.Helper()
+	s := NewServer(ctx)
+	s.Register("echo", func(args Args) (any, error) {
+		return args.String(0), nil
+	})
+	s.Register("add", func(args Args) (any, error) {
+		return args.Int(0) + args.Int(1), nil
+	})
+	s.Register("fail", func(args Args) (any, error) {
+		return nil, errors.New("boom")
+	})
+	s.Register("slow", func(args Args) (any, error) {
+		ctx.Sleep(10 * time.Second)
+		return "late", nil
+	})
+	if err := s.Start(port); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return s
+}
+
+func TestCallBasics(t *testing.T) {
+	e := newEnv(t, 2)
+	addr := transport.Addr{Host: "n1", Port: 8000}
+	e.k.Go(func() {
+		startEchoServer(t, e.ctx(1), 8000)
+	})
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		res, err := c.Call(addr, "echo", "hello")
+		if err != nil {
+			t.Errorf("echo: %v", err)
+			return
+		}
+		var s string
+		if res.Decode(&s); s != "hello" {
+			t.Errorf("echo = %q", s)
+		}
+		res, err = c.Call(addr, "add", 19, 23)
+		if err != nil {
+			t.Errorf("add: %v", err)
+			return
+		}
+		var n int
+		if res.Decode(&n); n != 42 {
+			t.Errorf("add = %d", n)
+		}
+	})
+	e.k.Run()
+}
+
+func TestRemoteError(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		_, err := c.Call(transport.Addr{Host: "n1", Port: 8000}, "fail")
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Msg != "boom" {
+			t.Errorf("err = %v, want RemoteError(boom)", err)
+		}
+		_, err = c.Call(transport.Addr{Host: "n1", Port: 8000}, "nosuch")
+		if !errors.As(err, &re) {
+			t.Errorf("unknown method err = %v", err)
+		}
+	})
+	e.k.Run()
+}
+
+func TestCallTimeout(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	var took time.Duration
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		start := e.k.Now()
+		_, err := c.CallTimeout(transport.Addr{Host: "n1", Port: 8000}, 2*time.Second, "slow")
+		took = e.k.Now().Sub(start)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want timeout", err)
+		}
+	})
+	e.k.Run()
+	if took != 2*time.Second {
+		t.Fatalf("timed out after %s, want 2s", took)
+	}
+}
+
+func TestDialRefusedPropagates(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() {
+		c := NewClient(e.ctx(0))
+		_, err := c.Call(transport.Addr{Host: "n1", Port: 9}, "echo", "x")
+		if !errors.Is(err, transport.ErrRefused) {
+			t.Errorf("err = %v, want refused", err)
+		}
+	})
+	e.k.Run()
+}
+
+func TestPing(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		rtt, err := c.Ping(transport.Addr{Host: "n1", Port: 8000}, time.Minute)
+		if err != nil {
+			t.Errorf("ping: %v", err)
+			return
+		}
+		// Dial handshake (1 RTT) + request/response (1 RTT) = 40ms.
+		if rtt != 40*time.Millisecond {
+			t.Errorf("ping rtt = %s, want 40ms", rtt)
+		}
+		// Second ping reuses the pooled connection: just 1 RTT.
+		rtt, _ = c.Ping(transport.Addr{Host: "n1", Port: 8000}, time.Minute)
+		if rtt != 20*time.Millisecond {
+			t.Errorf("pooled ping rtt = %s, want 20ms", rtt)
+		}
+	})
+	e.k.Run()
+}
+
+func TestPoolingReusesConnections(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		for i := 0; i < 10; i++ {
+			if _, err := c.Call(transport.Addr{Host: "n1", Port: 8000}, "echo", "x"); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}
+	})
+	e.k.Run()
+	if dials := e.nw.Stats().Dials; dials != 1 {
+		t.Fatalf("pooled client dialed %d times, want 1", dials)
+	}
+}
+
+func TestNoPoolingDialsPerCall(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		c.SetPooling(false)
+		for i := 0; i < 5; i++ {
+			if _, err := c.Call(transport.Addr{Host: "n1", Port: 8000}, "echo", "x"); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}
+	})
+	e.k.Run()
+	if dials := e.nw.Stats().Dials; dials != 5 {
+		t.Fatalf("unpooled client dialed %d times, want 5", dials)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	e := newEnv(t, 2)
+	sctx := e.ctx(1)
+	e.k.Go(func() {
+		s := NewServer(sctx)
+		s.Register("wait", func(args Args) (any, error) {
+			sctx.Sleep(time.Duration(args.Int(0)) * time.Millisecond)
+			return args.Int(0), nil
+		})
+		s.Start(8000)
+	})
+	done := 0
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		cctx := e.ctx(0)
+		for _, d := range []int{500, 300, 100} {
+			d := d
+			cctx.Go(func() {
+				res, err := c.Call(transport.Addr{Host: "n1", Port: 8000}, "wait", d)
+				if err != nil {
+					t.Errorf("wait(%d): %v", d, err)
+					return
+				}
+				var got int
+				res.Decode(&got)
+				if got != d {
+					t.Errorf("wait(%d) = %d", d, got)
+				}
+				done++
+			})
+		}
+	})
+	e.k.Run()
+	if done != 3 {
+		t.Fatalf("completed %d calls, want 3", done)
+	}
+	// All three calls multiplex over one connection and overlap: the
+	// slowest is 500ms, so everything ends well before 1s after start.
+	if e.k.Since() > 2*time.Second {
+		t.Fatalf("calls did not overlap: finished at %s", e.k.Since())
+	}
+}
+
+func TestServerDeathFailsPendingCalls(t *testing.T) {
+	e := newEnv(t, 2)
+	sctx := e.ctx(1)
+	e.k.Go(func() {
+		s := NewServer(sctx)
+		s.Register("hang", func(Args) (any, error) {
+			sctx.Sleep(time.Hour)
+			return nil, nil
+		})
+		s.Start(8000)
+	})
+	var err error
+	var at time.Duration
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		_, err = c.Call(transport.Addr{Host: "n1", Port: 8000}, "hang")
+		at = e.k.Since()
+	})
+	e.k.GoAfter(2*time.Second, func() {
+		e.nw.Host(1).SetDown(true)
+	})
+	e.k.Run()
+	if err == nil || errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want connection failure", err)
+	}
+	if at > 3*time.Second {
+		t.Fatalf("failure detected at %s, want ≈2s", at)
+	}
+}
+
+func TestDropRateCausesTimeouts(t *testing.T) {
+	e := newEnv(t, 2)
+	e.k.Go(func() { startEchoServer(t, e.ctx(1), 8000) })
+	timeouts := 0
+	e.k.GoAfter(time.Second, func() {
+		c := NewClient(e.ctx(0))
+		c.DropRate = 1.0
+		for i := 0; i < 3; i++ {
+			if _, err := c.CallTimeout(transport.Addr{Host: "n1", Port: 8000}, time.Second, "echo", "x"); errors.Is(err, ErrTimeout) {
+				timeouts++
+			}
+		}
+	})
+	e.k.Run()
+	if timeouts != 3 {
+		t.Fatalf("timeouts = %d, want 3", timeouts)
+	}
+}
+
+func TestManyClientsOneServer(t *testing.T) {
+	const clients = 20
+	e := newEnv(t, clients+1)
+	sctx := e.ctx(clients)
+	e.k.Go(func() {
+		s := NewServer(sctx)
+		n := 0
+		s.Register("inc", func(Args) (any, error) { n++; return n, nil })
+		s.Start(8000)
+	})
+	results := map[int]bool{}
+	e.k.GoAfter(time.Second, func() {
+		for i := 0; i < clients; i++ {
+			i := i
+			cctx := e.ctx(i)
+			cctx.Go(func() {
+				c := NewClient(cctx)
+				res, err := c.Call(transport.Addr{Host: fmt.Sprintf("n%d", clients), Port: 8000}, "inc")
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				var v int
+				res.Decode(&v)
+				results[v] = true
+			})
+		}
+	})
+	e.k.Run()
+	if len(results) != clients {
+		t.Fatalf("distinct results = %d, want %d (handler must run per request)", len(results), clients)
+	}
+}

@@ -1,0 +1,265 @@
+package sandbox
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func TestFSReadWriteSeek(t *testing.T) {
+	fs := NewFS(FSLimits{})
+	f, err := fs.Create("/chunks/0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosedFile) {
+		t.Fatalf("double close: %v", err)
+	}
+	// Reopen and read back.
+	g, err := fs.Open("chunks/0001") // same file, normalized path
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(g)
+	if string(data) != "hello world" {
+		t.Fatalf("persisted %q", data)
+	}
+}
+
+func TestFSQuota(t *testing.T) {
+	fs := NewFS(FSLimits{MaxBytes: 10})
+	f, _ := fs.Create("a")
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 8)); !errors.Is(err, ErrQuota) {
+		t.Fatalf("quota not enforced: %v", err)
+	}
+	// Overwriting in place needs no new quota.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("in-place rewrite rejected: %v", err)
+	}
+	// Removing frees quota.
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Used() != 0 {
+		t.Fatalf("used = %d after remove", fs.Used())
+	}
+}
+
+func TestFSOpenFileLimit(t *testing.T) {
+	fs := NewFS(FSLimits{MaxOpenFiles: 2})
+	a, _ := fs.Create("a")
+	if _, err := fs.Create("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("c"); !errors.Is(err, ErrTooManyFiles) {
+		t.Fatalf("fd limit not enforced: %v", err)
+	}
+	a.Close()
+	if _, err := fs.Create("c"); err != nil {
+		t.Fatalf("fd not released: %v", err)
+	}
+}
+
+func TestFSPathNormalization(t *testing.T) {
+	fs := NewFS(FSLimits{})
+	f, _ := fs.Create("/a/b/../c")
+	f.Write([]byte("x"))
+	f.Close()
+	if _, err := fs.Open("a/c"); err != nil {
+		t.Fatalf("normalized path not found: %v", err)
+	}
+	// Escaping attempts stay inside the sandbox namespace.
+	g, _ := fs.Create("../../etc/passwd")
+	g.Close()
+	names := fs.List()
+	for _, n := range names {
+		if len(n) > 0 && n[0] == '.' {
+			t.Fatalf("traversal survived normalization: %q", n)
+		}
+	}
+}
+
+// Property: quota accounting equals the sum of file sizes.
+func TestQuickFSAccounting(t *testing.T) {
+	f := func(writes []uint16) bool {
+		fs := NewFS(FSLimits{})
+		var want int64
+		for i, w := range writes {
+			name := string(rune('a' + i%8))
+			h, err := fs.Create(name)
+			if err != nil {
+				return false
+			}
+			h.Write(make([]byte, int(w)%4096))
+			h.Close()
+		}
+		// Recompute from scratch.
+		for _, name := range fs.List() {
+			h, _ := fs.Open(name)
+			data, _ := io.ReadAll(h)
+			h.Close()
+			want += int64(len(data))
+		}
+		return fs.Used() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newSandboxNet(t *testing.T, limits NetLimits) (*sim.Kernel, *Node, transport.Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	nw := simnet.New(k, simnet.Symmetric{RTT: 10 * time.Millisecond}, 2, 1)
+	return k, Wrap(nw.Node(0), limits), nw.Node(1)
+}
+
+func TestBlacklistEnforced(t *testing.T) {
+	k, sb, _ := newSandboxNet(t, NetLimits{Blacklist: []string{"n1"}})
+	var err error
+	k.Go(func() {
+		_, err = sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0)
+	})
+	k.Run()
+	if !errors.Is(err, transport.ErrBlacklisted) {
+		t.Fatalf("dial to blacklisted host: %v", err)
+	}
+}
+
+func TestBlacklistWildcard(t *testing.T) {
+	if !matches("n*", "n42") || matches("n1", "n12") || !matches("n12", "n12") {
+		t.Fatal("pattern matching wrong")
+	}
+}
+
+func TestSocketLimit(t *testing.T) {
+	k, sb, peer := newSandboxNet(t, NetLimits{MaxSockets: 2})
+	var third error
+	k.Go(func() {
+		l, err := peer.Listen(80)
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	})
+	k.GoAfter(time.Second, func() {
+		if _, err := sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0); err != nil {
+			t.Errorf("dial 1: %v", err)
+		}
+		if _, err := sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0); err != nil {
+			t.Errorf("dial 2: %v", err)
+		}
+		_, third = sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0)
+	})
+	k.RunFor(time.Minute)
+	if !errors.Is(third, transport.ErrLimit) {
+		t.Fatalf("socket limit not enforced: %v", third)
+	}
+	if sb.OpenSockets() != 2 {
+		t.Fatalf("open sockets = %d", sb.OpenSockets())
+	}
+}
+
+func TestBandwidthQuota(t *testing.T) {
+	k, sb, peer := newSandboxNet(t, NetLimits{MaxTxBytes: 1000})
+	var err2 error
+	k.Go(func() {
+		l, _ := peer.Listen(80)
+		c, aerr := l.Accept()
+		if aerr != nil {
+			return
+		}
+		io.Copy(io.Discard, c)
+	})
+	k.GoAfter(time.Second, func() {
+		c, err := sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if _, err := c.Write(make([]byte, 900)); err != nil {
+			t.Errorf("first write: %v", err)
+		}
+		_, err2 = c.Write(make([]byte, 900))
+	})
+	k.RunFor(time.Minute)
+	if !errors.Is(err2, transport.ErrLimit) {
+		t.Fatalf("tx quota not enforced: %v", err2)
+	}
+	tx, _ := sb.Usage()
+	if tx != 900 {
+		t.Fatalf("tx counter = %d", tx)
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	k, sb, peer := newSandboxNet(t, NetLimits{})
+	var readErr error
+	k.Go(func() {
+		l, _ := peer.Listen(80)
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	})
+	k.GoAfter(time.Second, func() {
+		c, err := sb.Dial(transport.Addr{Host: "n1", Port: 80}, 0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 8)
+		_, readErr = c.Read(buf)
+	})
+	k.GoAfter(2*time.Second, func() { sb.CloseAll() })
+	k.RunFor(time.Minute)
+	if readErr == nil {
+		t.Fatal("CloseAll did not interrupt blocked read")
+	}
+	if sb.OpenSockets() != 0 {
+		t.Fatalf("sockets remain after CloseAll: %d", sb.OpenSockets())
+	}
+}
+
+func TestTighten(t *testing.T) {
+	l := NetLimits{MaxSockets: 10, MaxTxBytes: 1000}
+	o := NetLimits{MaxSockets: 5, MaxTxBytes: 5000, Blacklist: []string{"ctl"}}
+	m := l.Tighten(o)
+	if m.MaxSockets != 5 || m.MaxTxBytes != 1000 || len(m.Blacklist) != 1 {
+		t.Fatalf("tighten wrong: %+v", m)
+	}
+	fl := FSLimits{MaxBytes: 100}.Tighten(FSLimits{MaxBytes: 50, MaxOpenFiles: 3})
+	if fl.MaxBytes != 50 || fl.MaxOpenFiles != 3 {
+		t.Fatalf("fs tighten wrong: %+v", fl)
+	}
+}

@@ -1,0 +1,293 @@
+package sandbox
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// NetLimits restricts an application's network usage, mirroring the
+// paper's sb_socket layer: (1) total bandwidth available to the
+// application, (2) the maximum number of sockets, and (3) the addresses
+// the application may or may not contact.
+type NetLimits struct {
+	MaxSockets int      // concurrently open sockets/listeners (0 = unlimited)
+	MaxTxBytes int64    // lifetime bytes sent (0 = unlimited); writes fail beyond it
+	MaxRxBytes int64    // lifetime bytes received (0 = unlimited); reads fail beyond it
+	Blacklist  []string // host patterns the app must not contact ("n3", "10.0.*")
+}
+
+// Tighten merges limits keeping the stricter of each (controller rule).
+func (l NetLimits) Tighten(o NetLimits) NetLimits {
+	out := l
+	min := func(a, b int64) int64 {
+		if a == 0 {
+			return b
+		}
+		if b == 0 || a < b {
+			return a
+		}
+		return b
+	}
+	out.MaxTxBytes = min(l.MaxTxBytes, o.MaxTxBytes)
+	out.MaxRxBytes = min(l.MaxRxBytes, o.MaxRxBytes)
+	if o.MaxSockets > 0 && (out.MaxSockets == 0 || o.MaxSockets < out.MaxSockets) {
+		out.MaxSockets = o.MaxSockets
+	}
+	out.Blacklist = append(append([]string(nil), l.Blacklist...), o.Blacklist...)
+	return out
+}
+
+// matches reports whether host matches pattern (exact or '*' suffix
+// wildcard).
+func matches(pattern, host string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(host, strings.TrimSuffix(pattern, "*"))
+	}
+	return pattern == host
+}
+
+// Node wraps a transport.Node with enforcement and accounting. It also
+// tracks every socket so the daemon can close them all when killing the
+// instance.
+type Node struct {
+	inner  transport.Node
+	limits NetLimits
+
+	mu      sync.Mutex
+	sockets int
+	tx, rx  int64
+	open    map[interface{ Close() error }]struct{}
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// Wrap confines a node's network stack.
+func Wrap(inner transport.Node, limits NetLimits) *Node {
+	return &Node{inner: inner, limits: limits, open: make(map[interface{ Close() error }]struct{})}
+}
+
+// Usage reports transmitted/received byte counters.
+func (n *Node) Usage() (tx, rx int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tx, n.rx
+}
+
+// OpenSockets reports the live socket count.
+func (n *Node) OpenSockets() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sockets
+}
+
+// CloseAll force-closes every tracked socket (instance kill).
+func (n *Node) CloseAll() {
+	n.mu.Lock()
+	socks := make([]interface{ Close() error }, 0, len(n.open))
+	for s := range n.open {
+		socks = append(socks, s)
+	}
+	n.mu.Unlock()
+	for _, s := range socks {
+		s.Close() //nolint:errcheck
+	}
+}
+
+// Host implements transport.Node.
+func (n *Node) Host() string { return n.inner.Host() }
+
+func (n *Node) blocked(host string) bool {
+	for _, p := range n.limits.Blacklist {
+		if matches(p, host) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) acquire() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.limits.MaxSockets > 0 && n.sockets >= n.limits.MaxSockets {
+		return transport.ErrLimit
+	}
+	n.sockets++
+	return nil
+}
+
+func (n *Node) track(c interface{ Close() error }) {
+	n.mu.Lock()
+	n.open[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Node) release(c interface{ Close() error }) {
+	n.mu.Lock()
+	if _, ok := n.open[c]; ok {
+		delete(n.open, c)
+		n.sockets--
+	}
+	n.mu.Unlock()
+}
+
+// chargeTx accounts len bytes of egress, failing when over quota.
+func (n *Node) chargeTx(len int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.limits.MaxTxBytes > 0 && n.tx+int64(len) > n.limits.MaxTxBytes {
+		return transport.ErrLimit
+	}
+	n.tx += int64(len)
+	return nil
+}
+
+func (n *Node) chargeRx(len int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.limits.MaxRxBytes > 0 && n.rx+int64(len) > n.limits.MaxRxBytes {
+		return transport.ErrLimit
+	}
+	n.rx += int64(len)
+	return nil
+}
+
+// Dial implements transport.Node with blacklist and socket limits.
+func (n *Node) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, error) {
+	if n.blocked(to.Host) {
+		return nil, transport.ErrBlacklisted
+	}
+	if err := n.acquire(); err != nil {
+		return nil, err
+	}
+	c, err := n.inner.Dial(to, timeout)
+	if err != nil {
+		n.mu.Lock()
+		n.sockets--
+		n.mu.Unlock()
+		return nil, err
+	}
+	sc := &sbConn{Conn: c, n: n}
+	n.track(sc)
+	return sc, nil
+}
+
+// Listen implements transport.Node.
+func (n *Node) Listen(port int) (transport.Listener, error) {
+	if err := n.acquire(); err != nil {
+		return nil, err
+	}
+	l, err := n.inner.Listen(port)
+	if err != nil {
+		n.mu.Lock()
+		n.sockets--
+		n.mu.Unlock()
+		return nil, err
+	}
+	sl := &sbListener{Listener: l, n: n}
+	n.track(sl)
+	return sl, nil
+}
+
+// ListenPacket implements transport.Node.
+func (n *Node) ListenPacket(port int) (transport.PacketConn, error) {
+	if err := n.acquire(); err != nil {
+		return nil, err
+	}
+	p, err := n.inner.ListenPacket(port)
+	if err != nil {
+		n.mu.Lock()
+		n.sockets--
+		n.mu.Unlock()
+		return nil, err
+	}
+	sp := &sbPacket{PacketConn: p, n: n}
+	n.track(sp)
+	return sp, nil
+}
+
+// sbConn wraps a stream with accounting.
+type sbConn struct {
+	transport.Conn
+	n *Node
+}
+
+func (c *sbConn) Write(p []byte) (int, error) {
+	if err := c.n.chargeTx(len(p)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *sbConn) Read(p []byte) (int, error) {
+	m, err := c.Conn.Read(p)
+	if m > 0 {
+		if cerr := c.n.chargeRx(m); cerr != nil {
+			return m, cerr
+		}
+	}
+	return m, err
+}
+
+func (c *sbConn) Close() error {
+	c.n.release(c)
+	return c.Conn.Close()
+}
+
+// sbListener wraps a listener; accepted conns are sandboxed and counted.
+type sbListener struct {
+	transport.Listener
+	n *Node
+}
+
+func (l *sbListener) Accept() (transport.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.n.acquire(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	sc := &sbConn{Conn: c, n: l.n}
+	l.n.track(sc)
+	return sc, nil
+}
+
+func (l *sbListener) Close() error {
+	l.n.release(l)
+	return l.Listener.Close()
+}
+
+// sbPacket wraps a datagram socket.
+type sbPacket struct {
+	transport.PacketConn
+	n *Node
+}
+
+func (p *sbPacket) WriteTo(b []byte, to transport.Addr) (int, error) {
+	if p.n.blocked(to.Host) {
+		return 0, transport.ErrBlacklisted
+	}
+	if err := p.n.chargeTx(len(b)); err != nil {
+		return 0, err
+	}
+	return p.PacketConn.WriteTo(b, to)
+}
+
+func (p *sbPacket) ReadFrom(b []byte) (int, transport.Addr, error) {
+	m, from, err := p.PacketConn.ReadFrom(b)
+	if m > 0 {
+		if cerr := p.n.chargeRx(m); cerr != nil {
+			return m, from, cerr
+		}
+	}
+	return m, from, err
+}
+
+func (p *sbPacket) Close() error {
+	p.n.release(p)
+	return p.PacketConn.Close()
+}

@@ -1,0 +1,289 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock and an event queue. Application code runs
+// in cooperative tasks: ordinary goroutines that only block through kernel
+// primitives (Sleep, Waiter.Wait). At any instant exactly one goroutine is
+// runnable — either the kernel's run loop or a single task — so simulations
+// are deterministic: the same seed and inputs produce the same event order,
+// bit for bit.
+//
+// This mirrors the SPLAY execution model: Lua coroutines scheduled by a
+// single-threaded event loop, where the processor is yielded only at
+// blocking points in the base libraries.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Epoch is the virtual time at which every simulation starts. The concrete
+// date is arbitrary; experiments only use durations relative to it.
+var Epoch = time.Date(2009, 4, 22, 0, 0, 0, 0, time.UTC)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq) so the run loop is fully deterministic.
+type event struct {
+	at       time.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; create
+// kernels with NewKernel.
+//
+// All Kernel methods must be called either from inside a task started with Go
+// or from event callbacks, with two exceptions: Run/RunUntil/RunFor (the
+// driver) and NewKernel. The kernel is deliberately not safe for concurrent
+// use from foreign goroutines; tasks and events already execute one at a
+// time.
+type Kernel struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	yield  chan struct{} // task -> kernel: parked or finished
+	tasks  int           // live (started, unfinished) tasks
+	events uint64        // total events executed, for stats
+	halted bool
+}
+
+// NewKernel returns a kernel with its clock set to Epoch.
+func NewKernel() *Kernel {
+	return &Kernel{
+		now:   Epoch,
+		yield: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Since returns the virtual duration elapsed since the epoch.
+func (k *Kernel) Since() time.Duration { return k.now.Sub(Epoch) }
+
+// Events returns the number of events executed so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Tasks returns the number of live tasks.
+func (k *Kernel) Tasks() int { return k.tasks }
+
+// schedule enqueues fn to run at virtual time t (clamped to now).
+func (k *Kernel) schedule(t time.Time, fn func()) *event {
+	if t.Before(k.now) {
+		t = k.now
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run once after virtual duration d and returns a
+// cancel function. Cancelling after the event has fired is a no-op. The
+// callback runs on the kernel's run loop and must not block; to run blocking
+// code, have the callback call Go.
+func (k *Kernel) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	e := k.schedule(k.now.Add(d), fn)
+	return func() { e.canceled = true }
+}
+
+// Go starts fn as a new cooperative task at the current virtual time.
+// The task may block only through kernel primitives.
+func (k *Kernel) Go(fn func()) {
+	k.GoAfter(0, fn)
+}
+
+// GoAfter starts fn as a new task after virtual duration d.
+func (k *Kernel) GoAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.tasks++
+	k.schedule(k.now.Add(d), func() {
+		start := make(chan any)
+		go func() {
+			<-start
+			defer func() {
+				k.tasks--
+				k.yield <- struct{}{}
+			}()
+			fn()
+		}()
+		k.handoff(start, nil)
+	})
+}
+
+// handoff resumes a task goroutine blocked on ch and waits until it parks
+// again or finishes. It must only be called from the kernel run loop (event
+// callbacks).
+func (k *Kernel) handoff(ch chan any, v any) {
+	ch <- v
+	<-k.yield
+}
+
+// Sleep parks the calling task for virtual duration d.
+func (k *Kernel) Sleep(d time.Duration) {
+	w := k.NewWaiter()
+	k.After(d, func() { w.Wake(nil) })
+	w.Wait()
+}
+
+// Run executes events until the queue is empty or Halt is called. It returns
+// the number of events executed during this call.
+func (k *Kernel) Run() uint64 {
+	return k.run(time.Time{}, false)
+}
+
+// RunUntil executes events with firing times ≤ t, then sets the clock to t.
+func (k *Kernel) RunUntil(t time.Time) uint64 {
+	return k.run(t, true)
+}
+
+// RunFor advances the simulation by virtual duration d.
+func (k *Kernel) RunFor(d time.Duration) uint64 {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// Halt stops the run loop after the current event completes. It may be
+// called from tasks or event callbacks.
+func (k *Kernel) Halt() { k.halted = true }
+
+func (k *Kernel) run(limit time.Time, bounded bool) uint64 {
+	k.halted = false
+	var n uint64
+	for len(k.queue) > 0 && !k.halted {
+		next := k.queue[0]
+		if bounded && next.at.After(limit) {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.canceled {
+			continue
+		}
+		if next.at.After(k.now) {
+			k.now = next.at
+		}
+		next.fn()
+		n++
+		k.events++
+	}
+	if bounded && !k.halted && limit.After(k.now) {
+		k.now = limit
+	}
+	return n
+}
+
+// Waiter is a one-shot parking spot for a task. A task creates a Waiter,
+// hands it to whoever will produce its wake-up value, and calls Wait. The
+// first Wake (or armed timeout) wins; later wakes are no-ops and report
+// false.
+//
+// Wake may legitimately fire before the owner reaches Wait — for example
+// a call timeout expiring while the caller is still blocked writing the
+// request. The value is then stashed and Wait returns it immediately
+// without parking.
+type Waiter struct {
+	k      *Kernel
+	ch     chan any
+	done   bool
+	parked bool
+	value  any    // stashed wake value when woken before parking
+	timer  func() // cancel for the armed timeout, if any
+}
+
+// NewWaiter returns a fresh waiter bound to the kernel.
+func (k *Kernel) NewWaiter() *Waiter {
+	return &Waiter{k: k, ch: make(chan any)}
+}
+
+// Wake delivers v to the waiting task. It returns false if the waiter was
+// already woken (or timed out). Wake never blocks the caller beyond the
+// deterministic handoff to the resumed task.
+func (w *Waiter) Wake(v any) bool {
+	if w.done {
+		return false
+	}
+	w.done = true
+	if w.timer != nil {
+		w.timer()
+		w.timer = nil
+	}
+	if !w.parked {
+		// Owner has not reached Wait yet: stash the value.
+		w.value = v
+		return true
+	}
+	w.k.schedule(w.k.now, func() { w.k.handoff(w.ch, v) })
+	return true
+}
+
+// WakeAfter arms a timeout: if nothing wakes the waiter within d, it is woken
+// with v. Arming twice replaces the previous timeout.
+func (w *Waiter) WakeAfter(d time.Duration, v any) {
+	if w.done {
+		return
+	}
+	if w.timer != nil {
+		w.timer()
+	}
+	w.timer = w.k.After(d, func() {
+		w.timer = nil
+		w.Wake(v)
+	})
+}
+
+// Wait parks the calling task until Wake is called and returns the value
+// passed to Wake. If the waiter was already woken, Wait returns the
+// stashed value without yielding.
+func (w *Waiter) Wait() any {
+	if w.done {
+		v := w.value
+		w.value = nil
+		return v
+	}
+	w.parked = true
+	w.k.yield <- struct{}{}
+	return <-w.ch
+}
+
+// Woken reports whether the waiter has already been woken.
+func (w *Waiter) Woken() bool { return w.done }
+
+// String implements fmt.Stringer for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{t=%s queued=%d tasks=%d}", k.Since(), len(k.queue), k.tasks)
+}

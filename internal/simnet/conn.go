@@ -1,0 +1,302 @@
+package simnet
+
+import (
+	"io"
+	"time"
+
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// pipe is one direction of a stream connection: bytes in flight toward, or
+// buffered at, the destination host.
+type pipe struct {
+	nw  *Network
+	dst *Host
+
+	segs   [][]byte // delivered, unread segments
+	off    int      // read offset into segs[0]
+	eof    bool     // write end closed and EOF delivered
+	err    error    // connection reset
+	frozen bool     // blackholed: drop deliveries, never notify readers
+
+	reader      *sim.Waiter // parked reader, if any
+	lastDeliver time.Time   // FIFO floor for future deliveries
+}
+
+func (p *pipe) deliverTime(t time.Time) time.Time {
+	if t.Before(p.lastDeliver) {
+		t = p.lastDeliver
+	}
+	p.lastDeliver = t
+	return t
+}
+
+func (p *pipe) deliverData(data []byte) {
+	if p.eof || p.err != nil || p.frozen {
+		return
+	}
+	p.segs = append(p.segs, data)
+	p.wakeReader()
+}
+
+func (p *pipe) deliverEOF() {
+	if p.eof || p.err != nil || p.frozen {
+		return
+	}
+	p.eof = true
+	p.wakeReader()
+}
+
+func (p *pipe) fail(err error) {
+	if p.err != nil {
+		return
+	}
+	p.err = err
+	p.wakeReader()
+}
+
+func (p *pipe) wakeReader() {
+	if p.reader != nil {
+		w := p.reader
+		p.reader = nil
+		w.Wake(nil)
+	}
+}
+
+// conn is one endpoint of a simulated stream connection.
+type conn struct {
+	h        *Host
+	peerHost *Host
+	local    transport.Addr
+	remote   transport.Addr
+
+	rd *pipe // data flowing toward us
+	wr *pipe // data flowing toward the peer
+
+	closed   bool
+	deadline time.Time
+}
+
+var _ transport.Conn = (*conn)(nil)
+
+// newConnPair wires two endpoints together and registers them with their
+// hosts so machine failures can reset them.
+func newConnPair(lh *Host, laddr transport.Addr, rh *Host, raddr transport.Addr) (*conn, *conn) {
+	toRemote := &pipe{nw: lh.nw, dst: rh}
+	toLocal := &pipe{nw: lh.nw, dst: lh}
+	cl := &conn{h: lh, peerHost: rh, local: laddr, remote: raddr, rd: toLocal, wr: toRemote}
+	cr := &conn{h: rh, peerHost: lh, local: raddr, remote: laddr, rd: toRemote, wr: toLocal}
+	lh.conns[cl] = struct{}{}
+	rh.conns[cr] = struct{}{}
+	return cl, cr
+}
+
+func (c *conn) LocalAddr() transport.Addr  { return c.local }
+func (c *conn) RemoteAddr() transport.Addr { return c.remote }
+
+// SetReadDeadline implements transport.Conn. The deadline applies to Read
+// calls made after it is set.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.deadline = t
+	return nil
+}
+
+// Read implements transport.Conn. It blocks in virtual time until data,
+// EOF, reset, or the read deadline.
+func (c *conn) Read(b []byte) (int, error) {
+	k := c.h.nw.kernel
+	for {
+		if len(c.rd.segs) > 0 {
+			seg := c.rd.segs[0]
+			n := copy(b, seg[c.rd.off:])
+			c.rd.off += n
+			if c.rd.off == len(seg) {
+				c.rd.segs = c.rd.segs[1:]
+				c.rd.off = 0
+			}
+			return n, nil
+		}
+		if c.rd.err != nil {
+			return 0, c.rd.err
+		}
+		if c.closed {
+			return 0, transport.ErrClosed
+		}
+		if c.rd.eof {
+			return 0, io.EOF
+		}
+		if !c.deadline.IsZero() && !k.Now().Before(c.deadline) {
+			return 0, transport.ErrTimeout
+		}
+		w := k.NewWaiter()
+		if !c.deadline.IsZero() {
+			w.WakeAfter(c.deadline.Sub(k.Now()), transport.ErrTimeout)
+		}
+		if c.rd.reader != nil {
+			// A second concurrent reader is a protocol bug; fail loudly
+			// rather than corrupting the stream.
+			panic("simnet: concurrent Read on one connection")
+		}
+		c.rd.reader = w
+		if v := w.Wait(); v != nil {
+			c.rd.reader = nil
+			if err, ok := v.(error); ok {
+				return 0, err
+			}
+		}
+	}
+}
+
+// Write implements transport.Conn. The calling task blocks (in virtual
+// time) until the sender's uplink has serialized the payload, modelling a
+// small socket buffer; the payload is delivered to the peer after queueing
+// plus propagation delay.
+func (c *conn) Write(b []byte) (int, error) {
+	k := c.h.nw.kernel
+	if c.closed {
+		return 0, transport.ErrClosed
+	}
+	if c.rd.err != nil {
+		return 0, c.rd.err
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	c.h.nw.stats.StreamMsgs++
+	c.h.nw.stats.StreamBytes += uint64(len(b))
+
+	data := make([]byte, len(b))
+	copy(data, b)
+	senderFree, delivered := c.h.nw.sendTimes(c.h, c.peerHost, len(data))
+	delivered = c.wr.deliverTime(delivered)
+	pipe := c.wr
+	k.After(delivered.Sub(k.Now()), func() { pipe.deliverData(data) })
+
+	if wait := senderFree.Sub(k.Now()); wait > 0 {
+		k.Sleep(wait)
+	}
+	if c.closed {
+		return 0, transport.ErrClosed
+	}
+	if c.rd.err != nil {
+		return 0, c.rd.err
+	}
+	return len(b), nil
+}
+
+// Close implements transport.Conn. The peer observes EOF after its data in
+// flight has drained.
+func (c *conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	delete(c.h.conns, c)
+	k := c.h.nw.kernel
+	eofAt := c.wr.deliverTime(k.Now().Add(c.h.nw.delay(c.h.id, c.peerHost.id)))
+	pipe := c.wr
+	k.After(eofAt.Sub(k.Now()), func() { pipe.deliverEOF() })
+	// Wake a parked local reader; it will observe closed.
+	c.rd.wakeReader()
+	return nil
+}
+
+// reset tears the connection down abruptly: both endpoints observe errors
+// immediately (the behaviour of a peer process being killed).
+func (c *conn) reset() {
+	c.closed = true
+	delete(c.h.conns, c)
+	c.rd.fail(transport.ErrClosed)
+	c.wr.fail(transport.ErrClosed)
+}
+
+// freeze blackholes the connection: the local (dying) endpoint errors,
+// but the remote peer observes nothing — its writes vanish and its reads
+// block until a deadline fires (silent-failure mode).
+func (c *conn) freeze() {
+	c.closed = true
+	delete(c.h.conns, c)
+	c.rd.frozen = true
+	c.wr.frozen = true
+	// Wake a parked local reader; it observes the closed connection.
+	if w := c.rd.reader; w != nil {
+		c.rd.reader = nil
+		w.Wake(transport.ErrClosed)
+	}
+}
+
+// listener implements transport.Listener.
+type listener struct {
+	host    *Host
+	port    int
+	backlog []*conn
+	waiters []*sim.Waiter
+	closed  bool
+}
+
+var _ transport.Listener = (*listener)(nil)
+
+func (l *listener) Addr() transport.Addr {
+	return transport.Addr{Host: l.host.Host(), Port: l.port}
+}
+
+// deliver hands an incoming connection to a parked acceptor or queues it.
+func (l *listener) deliver(c *conn) {
+	if l.closed {
+		c.reset()
+		return
+	}
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		if w.Wake(c) {
+			return
+		}
+	}
+	l.backlog = append(l.backlog, c)
+}
+
+// Accept implements transport.Listener.
+func (l *listener) Accept() (transport.Conn, error) {
+	for {
+		if l.closed {
+			return nil, transport.ErrClosed
+		}
+		if len(l.backlog) > 0 {
+			c := l.backlog[0]
+			l.backlog = l.backlog[1:]
+			return c, nil
+		}
+		w := l.host.nw.kernel.NewWaiter()
+		l.waiters = append(l.waiters, w)
+		switch v := w.Wait().(type) {
+		case *conn:
+			return v, nil
+		case error:
+			return nil, v
+		}
+	}
+}
+
+// Close implements transport.Listener.
+func (l *listener) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.close()
+	delete(l.host.listeners, l.port)
+	return nil
+}
+
+func (l *listener) close() {
+	l.closed = true
+	for _, w := range l.waiters {
+		w.Wake(transport.ErrClosed)
+	}
+	l.waiters = nil
+	for _, c := range l.backlog {
+		c.reset()
+	}
+	l.backlog = nil
+}

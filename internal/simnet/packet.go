@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// MaxDatagram is the largest datagram payload the simulated network
+// forwards, matching a typical UDP limit.
+const MaxDatagram = 64 * 1024
+
+type dgram struct {
+	data []byte
+	from transport.Addr
+}
+
+// packetConn implements transport.PacketConn over the simulated network.
+type packetConn struct {
+	host     *Host
+	port     int
+	queue    []dgram
+	waiters  []*sim.Waiter
+	closed   bool
+	deadline time.Time
+}
+
+var _ transport.PacketConn = (*packetConn)(nil)
+
+func (p *packetConn) Addr() transport.Addr {
+	return transport.Addr{Host: p.host.Host(), Port: p.port}
+}
+
+// SetReadDeadline implements transport.PacketConn.
+func (p *packetConn) SetReadDeadline(t time.Time) error {
+	p.deadline = t
+	return nil
+}
+
+// WriteTo implements transport.PacketConn. Datagrams traverse the same
+// fluid bandwidth queues as streams but the sender never blocks; loss is
+// sampled from the link model.
+func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
+	if p.closed || p.host.down {
+		return 0, transport.ErrClosed
+	}
+	if len(b) > MaxDatagram {
+		return 0, fmt.Errorf("simnet: datagram of %d bytes exceeds %d", len(b), MaxDatagram)
+	}
+	nw := p.host.nw
+	remote, err := nw.hostByName(to.Host)
+	if err != nil {
+		return 0, err
+	}
+	nw.stats.Datagrams++
+	if loss := nw.model.Loss(p.host.id, remote.id); loss > 0 && nw.rng.Float64() < loss {
+		nw.stats.DroppedDgrams++
+		return len(b), nil
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	from := p.Addr()
+	_, delivered := nw.sendTimes(p.host, remote, len(data))
+	nw.kernel.After(delivered.Sub(nw.kernel.Now()), func() {
+		dst, ok := remote.packets[to.Port]
+		if !ok || dst.closed || remote.down {
+			return // silently dropped, like UDP to a dead port
+		}
+		dst.deliver(dgram{data: data, from: from})
+	})
+	return len(b), nil
+}
+
+func (p *packetConn) deliver(d dgram) {
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		if w.Wake(d) {
+			return
+		}
+	}
+	p.queue = append(p.queue, d)
+}
+
+// ReadFrom implements transport.PacketConn.
+func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
+	k := p.host.nw.kernel
+	for {
+		if p.closed {
+			return 0, transport.Addr{}, transport.ErrClosed
+		}
+		if len(p.queue) > 0 {
+			d := p.queue[0]
+			p.queue = p.queue[1:]
+			n := copy(b, d.data)
+			return n, d.from, nil
+		}
+		if !p.deadline.IsZero() && !k.Now().Before(p.deadline) {
+			return 0, transport.Addr{}, transport.ErrTimeout
+		}
+		w := k.NewWaiter()
+		if !p.deadline.IsZero() {
+			w.WakeAfter(p.deadline.Sub(k.Now()), transport.ErrTimeout)
+		}
+		p.waiters = append(p.waiters, w)
+		switch v := w.Wait().(type) {
+		case dgram:
+			n := copy(b, v.data)
+			return n, v.from, nil
+		case error:
+			return 0, transport.Addr{}, v
+		}
+	}
+}
+
+// Close implements transport.PacketConn.
+func (p *packetConn) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.close()
+	delete(p.host.packets, p.port)
+	return nil
+}
+
+func (p *packetConn) close() {
+	p.closed = true
+	for _, w := range p.waiters {
+		w.Wake(transport.ErrClosed)
+	}
+	p.waiters = nil
+	p.queue = nil
+}

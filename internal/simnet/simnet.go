@@ -1,0 +1,383 @@
+// Package simnet implements SPLAY's simulated network: a virtual packet
+// network running in virtual time on the discrete-event kernel.
+//
+// The network hosts a fixed population of hosts named "n0", "n1", …. A
+// pluggable LinkModel supplies pairwise one-way delays, datagram loss
+// probabilities and per-host access bandwidth (internal/topology provides
+// ModelNet-style transit-stub and PlanetLab models). Transfers use a fluid,
+// store-and-forward model: each write is serialized through the sender's
+// uplink queue and the receiver's downlink queue, giving correct saturation
+// throughput and per-block "steps" without packet-level cost.
+//
+// An optional processing-delay hook charges per-message CPU cost at the
+// receiver; internal/hostmodel uses it to reproduce the paper's
+// runtime-scalability experiments (Figs. 7 and 8).
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// LinkModel supplies link characteristics between hosts. Implementations
+// must be deterministic functions of their inputs.
+type LinkModel interface {
+	// Delay returns the one-way propagation delay from host a to host b.
+	Delay(a, b int) time.Duration
+	// Loss returns the probability in [0,1] that a datagram from a to b is
+	// dropped. Stream transfers are reliable regardless of Loss.
+	Loss(a, b int) float64
+	// UplinkBps and DownlinkBps return access bandwidth in bytes per
+	// second; 0 means unlimited.
+	UplinkBps(host int) float64
+	DownlinkBps(host int) float64
+}
+
+// Symmetric is a trivial LinkModel: constant delay and bandwidth between
+// every pair, no loss. Useful for tests and local-cluster experiments.
+type Symmetric struct {
+	RTT time.Duration // round-trip time between any two hosts
+	Bps float64       // per-host access bandwidth, bytes/sec (0 = unlimited)
+}
+
+// Delay returns half the configured RTT.
+func (s Symmetric) Delay(a, b int) time.Duration { return s.RTT / 2 }
+
+// Loss always returns 0.
+func (s Symmetric) Loss(a, b int) float64 { return 0 }
+
+// UplinkBps returns the configured access bandwidth.
+func (s Symmetric) UplinkBps(host int) float64 { return s.Bps }
+
+// DownlinkBps returns the configured access bandwidth.
+func (s Symmetric) DownlinkBps(host int) float64 { return s.Bps }
+
+// ProcDelayFunc returns extra processing latency charged when a host
+// receives size bytes of application data. It runs at delivery time.
+type ProcDelayFunc func(host int, size int) time.Duration
+
+// Network is a simulated network of hosts.
+type Network struct {
+	kernel *sim.Kernel
+	model  LinkModel
+	rng    *rand.Rand
+	hosts  []*Host
+	proc   ProcDelayFunc
+	silent bool // dead hosts blackhole instead of refusing
+
+	stats Stats
+}
+
+// Stats aggregates network-level counters, useful in tests and experiment
+// reports.
+type Stats struct {
+	StreamBytes   uint64 // application bytes accepted by stream writes
+	StreamMsgs    uint64 // stream write calls
+	Datagrams     uint64 // datagrams sent
+	DroppedDgrams uint64 // datagrams lost
+	Dials         uint64
+	RefusedDials  uint64
+}
+
+// New creates a network of n hosts over the kernel using the given link
+// model. The seed makes datagram loss and ephemeral choices deterministic.
+func New(k *sim.Kernel, model LinkModel, n int, seed int64) *Network {
+	nw := &Network{
+		kernel: k,
+		model:  model,
+		rng:    rand.New(rand.NewSource(seed)),
+		hosts:  make([]*Host, n),
+	}
+	for i := range nw.hosts {
+		nw.hosts[i] = newHost(nw, i)
+	}
+	return nw
+}
+
+// Kernel returns the kernel driving this network.
+func (nw *Network) Kernel() *sim.Kernel { return nw.kernel }
+
+// Stats returns a copy of the network counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// NumHosts returns the host population size.
+func (nw *Network) NumHosts() int { return len(nw.hosts) }
+
+// SetProcDelay installs the receiver-side processing delay hook (may be
+// nil to disable).
+func (nw *Network) SetProcDelay(f ProcDelayFunc) { nw.proc = f }
+
+// SetSilentFailures selects how dead hosts fail. By default a down host
+// refuses connections immediately (a killed process on a live machine).
+// With silent failures, a down host blackholes traffic: dials and reads
+// block until the caller's timeout — the behaviour of a severed WAN link
+// or a powered-off machine, which Fig. 10's massive-failure experiment
+// models.
+func (nw *Network) SetSilentFailures(on bool) { nw.silent = on }
+
+// Host returns host i.
+func (nw *Network) Host(i int) *Host { return nw.hosts[i] }
+
+// Node returns host i's transport.Node view.
+func (nw *Network) Node(i int) transport.Node { return nw.hosts[i] }
+
+// HostName returns the canonical name of host i.
+func HostName(i int) string { return "n" + strconv.Itoa(i) }
+
+// HostID parses a canonical host name back to its index.
+func HostID(name string) (int, error) {
+	if !strings.HasPrefix(name, "n") {
+		return 0, fmt.Errorf("simnet: invalid host name %q", name)
+	}
+	id, err := strconv.Atoi(name[1:])
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("simnet: invalid host name %q", name)
+	}
+	return id, nil
+}
+
+func (nw *Network) hostByName(name string) (*Host, error) {
+	id, err := HostID(name)
+	if err != nil {
+		return nil, err
+	}
+	if id >= len(nw.hosts) {
+		return nil, fmt.Errorf("simnet: host %q out of range (have %d hosts)", name, len(nw.hosts))
+	}
+	return nw.hosts[id], nil
+}
+
+// delay returns the one-way delay between two hosts with a defensive floor
+// of zero.
+func (nw *Network) delay(a, b int) time.Duration {
+	d := nw.model.Delay(a, b)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Host is one machine in the simulated network. Host implements
+// transport.Node, so application code receives a *Host as its network
+// stack.
+type Host struct {
+	nw *Network
+	id int
+
+	listeners map[int]*listener
+	packets   map[int]*packetConn
+	conns     map[*conn]struct{}
+	nextEphem int
+
+	upFree   time.Time // uplink busy until
+	downFree time.Time // downlink busy until
+
+	down bool // machine failed: sockets reset, dials refused
+	gen  int  // incremented at every Down/Up transition
+}
+
+func newHost(nw *Network, id int) *Host {
+	return &Host{
+		nw:        nw,
+		id:        id,
+		listeners: make(map[int]*listener),
+		packets:   make(map[int]*packetConn),
+		conns:     make(map[*conn]struct{}),
+		nextEphem: 40000,
+	}
+}
+
+// ID returns the host's index in the network.
+func (h *Host) ID() int { return h.id }
+
+// Host returns the host's canonical name ("n<i>").
+func (h *Host) Host() string { return HostName(h.id) }
+
+// Down reports whether the machine is currently failed.
+func (h *Host) Down() bool { return h.down }
+
+// SetDown fails or revives the machine. Failing a host resets every open
+// connection (both endpoints observe errors), closes its listeners and
+// packet sockets, and refuses future dials until revived.
+func (h *Host) SetDown(down bool) {
+	if h.down == down {
+		return
+	}
+	h.down = down
+	h.gen++
+	if !down {
+		return
+	}
+	for _, l := range h.listeners {
+		l.close()
+	}
+	for _, p := range h.packets {
+		p.close()
+	}
+	for c := range h.conns {
+		if h.nw.silent {
+			c.freeze()
+		} else {
+			c.reset()
+		}
+	}
+	h.listeners = make(map[int]*listener)
+	h.packets = make(map[int]*packetConn)
+	h.conns = make(map[*conn]struct{})
+}
+
+func (h *Host) ephemeralPort() int {
+	for {
+		p := h.nextEphem
+		h.nextEphem++
+		if h.nextEphem > 65000 {
+			h.nextEphem = 40000
+		}
+		if _, ok := h.listeners[p]; ok {
+			continue
+		}
+		if _, ok := h.packets[p]; ok {
+			continue
+		}
+		return p
+	}
+}
+
+// Listen implements transport.Node.
+func (h *Host) Listen(port int) (transport.Listener, error) {
+	if h.down {
+		return nil, transport.ErrClosed
+	}
+	if port == 0 {
+		port = h.ephemeralPort()
+	}
+	if _, ok := h.listeners[port]; ok {
+		return nil, fmt.Errorf("simnet: %s port %d: address already in use", h.Host(), port)
+	}
+	l := &listener{host: h, port: port}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// ListenPacket implements transport.Node.
+func (h *Host) ListenPacket(port int) (transport.PacketConn, error) {
+	if h.down {
+		return nil, transport.ErrClosed
+	}
+	if port == 0 {
+		port = h.ephemeralPort()
+	}
+	if _, ok := h.packets[port]; ok {
+		return nil, fmt.Errorf("simnet: %s udp port %d: address already in use", h.Host(), port)
+	}
+	p := &packetConn{host: h, port: port}
+	h.packets[port] = p
+	return p, nil
+}
+
+// DefaultDialTimeout applies when Dial is called with timeout 0.
+const DefaultDialTimeout = 60 * time.Second
+
+// Dial implements transport.Node. The handshake costs one round trip; a
+// missing listener or failed host costs the same round trip and returns
+// ErrRefused.
+func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, error) {
+	k := h.nw.kernel
+	if h.down {
+		return nil, transport.ErrClosed
+	}
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	remote, err := h.nw.hostByName(to.Host)
+	if err != nil {
+		return nil, err
+	}
+	h.nw.stats.Dials++
+	local := transport.Addr{Host: h.Host(), Port: h.ephemeralPort()}
+
+	w := k.NewWaiter()
+	w.WakeAfter(timeout, transport.ErrTimeout)
+	fwd := h.nw.delay(h.id, remote.id)
+	rev := h.nw.delay(remote.id, h.id)
+	gen := h.gen
+
+	// SYN arrives at the remote after the forward delay; the verdict
+	// (connection or refusal) travels back after the reverse delay.
+	k.After(fwd, func() {
+		if remote.down && h.nw.silent {
+			return // blackholed: the dialer's timeout fires
+		}
+		l, ok := remote.listeners[to.Port]
+		if !ok || remote.down {
+			h.nw.stats.RefusedDials++
+			k.After(rev, func() { w.Wake(transport.ErrRefused) })
+			return
+		}
+		cl, cr := newConnPair(h, local, remote, to)
+		l.deliver(cr)
+		k.After(rev, func() {
+			if h.down || h.gen != gen {
+				cl.reset()
+				return
+			}
+			if !w.Wake(cl) {
+				// Dialer already timed out; tear down the orphan.
+				cl.Close()
+			}
+		})
+	})
+
+	switch v := w.Wait().(type) {
+	case *conn:
+		return v, nil
+	case error:
+		return nil, v
+	default:
+		return nil, transport.ErrClosed
+	}
+}
+
+// sendTimes computes the fluid-model schedule for moving size bytes from
+// host a to host b starting now: the instant the sender's uplink releases
+// the message and the instant the payload is fully delivered at b.
+func (nw *Network) sendTimes(a, b *Host, size int) (senderFree, delivered time.Time) {
+	k := nw.kernel
+	now := k.Now()
+
+	up := nw.model.UplinkBps(a.id)
+	txStart := now
+	if txStart.Before(a.upFree) {
+		txStart = a.upFree
+	}
+	txDur := time.Duration(0)
+	if up > 0 {
+		txDur = time.Duration(float64(size) / up * float64(time.Second))
+	}
+	senderFree = txStart.Add(txDur)
+	a.upFree = senderFree
+
+	arrive := senderFree.Add(nw.delay(a.id, b.id))
+	down := nw.model.DownlinkBps(b.id)
+	rxStart := arrive
+	if rxStart.Before(b.downFree) {
+		rxStart = b.downFree
+	}
+	rxDur := time.Duration(0)
+	if down > 0 {
+		rxDur = time.Duration(float64(size) / down * float64(time.Second))
+	}
+	delivered = rxStart.Add(rxDur)
+	b.downFree = delivered
+
+	if nw.proc != nil {
+		delivered = delivered.Add(nw.proc(b.id, size))
+	}
+	return senderFree, delivered
+}

@@ -1,0 +1,214 @@
+// Package stats provides the small numerical helpers the experiment
+// harness uses to turn raw samples into the paper's figures: percentiles,
+// CDFs, PDFs and time-bucketed series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Durations is a mutable sample of durations.
+type Durations []time.Duration
+
+// Sorted returns a sorted copy.
+func (d Durations) Sorted() Durations {
+	out := make(Durations, len(d))
+	copy(out, d)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the sample
+// using nearest-rank on a sorted copy. It returns 0 for empty samples.
+func (d Durations) Percentile(p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := d.Sorted()
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (d Durations) Mean() time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d {
+		sum += v
+	}
+	return sum / time.Duration(len(d))
+}
+
+// CDFAt returns the fraction of samples ≤ limit.
+func (d Durations) CDFAt(limit time.Duration) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range d {
+		if v <= limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d))
+}
+
+// CDFPoint is one (x, fraction ≤ x) pair.
+type CDFPoint struct {
+	X   time.Duration
+	Cum float64 // in [0,1]
+}
+
+// CDF returns the sample's CDF evaluated at n evenly spaced points up to
+// the maximum sample.
+func (d Durations) CDF(points int) []CDFPoint {
+	if len(d) == 0 || points <= 0 {
+		return nil
+	}
+	s := d.Sorted()
+	max := s[len(s)-1]
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		x := time.Duration(int64(max) * int64(i) / int64(points))
+		idx := sort.Search(len(s), func(j int) bool { return s[j] > x })
+		out = append(out, CDFPoint{X: x, Cum: float64(idx) / float64(len(s))})
+	}
+	return out
+}
+
+// IntHistogram counts occurrences of small non-negative integers (e.g.
+// route lengths) and reports a PDF.
+type IntHistogram struct {
+	counts []int
+	total  int
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	if v < 0 {
+		return
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// PDF returns P(X = i) for each i up to the largest observation.
+func (h *IntHistogram) PDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// Mean returns the sample mean.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for i, c := range h.counts {
+		sum += i * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// TimeSeries buckets timestamped values into fixed windows, producing the
+// paper's "per-minute" plots.
+type TimeSeries struct {
+	Start  time.Time
+	Bucket time.Duration
+	sums   []float64
+	counts []int
+}
+
+// NewTimeSeries returns a series bucketed by the given window.
+func NewTimeSeries(start time.Time, bucket time.Duration) *TimeSeries {
+	if bucket <= 0 {
+		panic("stats: non-positive bucket")
+	}
+	return &TimeSeries{Start: start, Bucket: bucket}
+}
+
+// Add records value v at time t. Samples before Start are ignored.
+func (ts *TimeSeries) Add(t time.Time, v float64) {
+	if t.Before(ts.Start) {
+		return
+	}
+	i := int(t.Sub(ts.Start) / ts.Bucket)
+	for len(ts.sums) <= i {
+		ts.sums = append(ts.sums, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.sums[i] += v
+	ts.counts[i]++
+}
+
+// Buckets returns the number of buckets with data capacity.
+func (ts *TimeSeries) Buckets() int { return len(ts.sums) }
+
+// Sum returns the sum of values in bucket i.
+func (ts *TimeSeries) Sum(i int) float64 {
+	if i < 0 || i >= len(ts.sums) {
+		return 0
+	}
+	return ts.sums[i]
+}
+
+// Count returns the number of samples in bucket i.
+func (ts *TimeSeries) Count(i int) int {
+	if i < 0 || i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
+// Mean returns the mean value in bucket i (0 when empty).
+func (ts *TimeSeries) Mean(i int) float64 {
+	if i < 0 || i >= len(ts.sums) || ts.counts[i] == 0 {
+		return 0
+	}
+	return ts.sums[i] / float64(ts.counts[i])
+}
+
+// FormatRow renders aligned experiment-output rows: a label column then
+// the values.
+func FormatRow(label string, values ...any) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", label)
+	for _, v := range values {
+		switch x := v.(type) {
+		case time.Duration:
+			fmt.Fprintf(&b, " %10s", x.Round(time.Millisecond))
+		case float64:
+			fmt.Fprintf(&b, " %10.3f", x)
+		default:
+			fmt.Fprintf(&b, " %10v", x)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package topology
+
+import "time"
+
+// SubModel is a link model that can participate in a mixed deployment: it
+// additionally reports each host's one-way delay to its testbed's edge.
+type SubModel interface {
+	Delay(a, b int) time.Duration
+	Loss(a, b int) float64
+	UplinkBps(host int) float64
+	DownlinkBps(host int) float64
+	EdgeDelay(host int) time.Duration
+}
+
+// Mixed composes two testbeds into one host space: hosts [0,SizeA) live in
+// A, the rest in B (§5.4: a single experiment spanning PlanetLab and a
+// ModelNet cluster at the same time). Cross-testbed traffic pays each
+// host's edge delay plus a WAN hop.
+type Mixed struct {
+	A, B   SubModel
+	SizeA  int
+	WanRTT time.Duration // RTT of the inter-testbed WAN link
+}
+
+// NewMixed builds a mixed deployment with sizeA hosts in a and the
+// remaining hosts mapped to b.
+func NewMixed(a, b SubModel, sizeA int, wanRTT time.Duration) *Mixed {
+	return &Mixed{A: a, B: b, SizeA: sizeA, WanRTT: wanRTT}
+}
+
+func (m *Mixed) side(host int) (SubModel, int) {
+	if host < m.SizeA {
+		return m.A, host
+	}
+	return m.B, host - m.SizeA
+}
+
+// Delay implements simnet.LinkModel.
+func (m *Mixed) Delay(a, b int) time.Duration {
+	ma, ia := m.side(a)
+	mb, ib := m.side(b)
+	if ma == mb {
+		return ma.Delay(ia, ib)
+	}
+	return ma.EdgeDelay(ia) + m.WanRTT/2 + mb.EdgeDelay(ib)
+}
+
+// Loss implements simnet.LinkModel: cross-testbed loss is the max of the
+// two sides' loss toward their edges.
+func (m *Mixed) Loss(a, b int) float64 {
+	ma, ia := m.side(a)
+	mb, ib := m.side(b)
+	if ma == mb {
+		return ma.Loss(ia, ib)
+	}
+	la, lb := ma.Loss(ia, ia), mb.Loss(ib, ib)
+	if la > lb {
+		return la
+	}
+	return lb
+}
+
+// UplinkBps implements simnet.LinkModel.
+func (m *Mixed) UplinkBps(host int) float64 {
+	mm, i := m.side(host)
+	return mm.UplinkBps(i)
+}
+
+// DownlinkBps implements simnet.LinkModel.
+func (m *Mixed) DownlinkBps(host int) float64 {
+	mm, i := m.side(host)
+	return mm.DownlinkBps(i)
+}
+
+// EdgeDelay lets mixed deployments nest.
+func (m *Mixed) EdgeDelay(host int) time.Duration {
+	mm, i := m.side(host)
+	return mm.EdgeDelay(i) + m.WanRTT/4
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestModelNetDelayClasses(t *testing.T) {
+	m := NewModelNet(DefaultModelNet(1100))
+	if m.NumHosts() != 1100 {
+		t.Fatalf("hosts = %d", m.NumHosts())
+	}
+	// Find a same-stub pair and a different-stub pair.
+	sameStub, diffStub := -1, -1
+	for b := 1; b < m.NumHosts(); b++ {
+		if m.hostStub[0] == m.hostStub[b] && sameStub < 0 {
+			sameStub = b
+		}
+		if m.hostStub[0] != m.hostStub[b] && diffStub < 0 {
+			diffStub = b
+		}
+	}
+	if sameStub > 0 {
+		if rtt := m.RTT(0, sameStub); rtt != 10*time.Millisecond {
+			t.Errorf("same-domain RTT = %s, want 10ms", rtt)
+		}
+	}
+	if diffStub > 0 {
+		rtt := m.RTT(0, diffStub)
+		// At least access + 2×(stub-transit) = 10+60 = 70ms.
+		if rtt < 70*time.Millisecond {
+			t.Errorf("cross-stub RTT = %s, want ≥ 70ms", rtt)
+		}
+	}
+	if m.RTT(5, 5) != 0 {
+		t.Errorf("self RTT nonzero")
+	}
+}
+
+func TestModelNetSymmetryAndBounds(t *testing.T) {
+	m := NewModelNet(DefaultModelNet(300))
+	var max time.Duration
+	for a := 0; a < 100; a++ {
+		for b := a + 1; b < 100; b++ {
+			ab, ba := m.RTT(a, b), m.RTT(b, a)
+			if ab != ba {
+				t.Fatalf("asymmetric RTT between %d and %d: %s vs %s", a, b, ab, ba)
+			}
+			if ab <= 0 {
+				t.Fatalf("non-positive RTT between %d and %d", a, b)
+			}
+			if ab > max {
+				max = ab
+			}
+		}
+	}
+	// The paper notes ModelNet delays are roughly twice PlanetLab's; the
+	// diameter should stay well under a second.
+	if max > time.Second {
+		t.Fatalf("topology diameter %s too large", max)
+	}
+	if max < 100*time.Millisecond {
+		t.Fatalf("topology diameter %s suspiciously small", max)
+	}
+}
+
+func TestModelNetDeterministic(t *testing.T) {
+	a := NewModelNet(DefaultModelNet(200))
+	b := NewModelNet(DefaultModelNet(200))
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatalf("non-deterministic generation at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestModelNetTriangleish(t *testing.T) {
+	// Delays derive from shortest paths, so the router part obeys the
+	// triangle inequality; with access links the violation is bounded by
+	// one access RTT.
+	m := NewModelNet(DefaultModelNet(100))
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%100, int(b)%100, int(c)%100
+		return m.RTT(x, z) <= m.RTT(x, y)+m.RTT(y, z)+m.accessRTT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanetLabFig3Calibration(t *testing.T) {
+	p := NewPlanetLab(DefaultPlanetLab(450))
+	const probes = 20000
+	var delays []time.Duration
+	for i := 0; i < probes; i++ {
+		delays = append(delays, p.ProbeDelay(i%p.NumHosts(), 20<<10))
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	frac := func(limit time.Duration) float64 {
+		n := sort.Search(len(delays), func(i int) bool { return delays[i] > limit })
+		return float64(n) / float64(len(delays))
+	}
+	under250 := frac(250 * time.Millisecond)
+	over1s := 1 - frac(time.Second)
+	// Paper (Fig. 3): 17.10% within 250ms, over 45% need > 1 s.
+	if math.Abs(under250-0.171) > 0.04 {
+		t.Errorf("P(probe ≤ 250ms) = %.3f, want ≈ 0.171", under250)
+	}
+	if over1s < 0.40 || over1s > 0.52 {
+		t.Errorf("P(probe > 1s) = %.3f, want ≈ 0.45", over1s)
+	}
+	if max := delays[len(delays)-1]; max > 12*time.Second {
+		t.Errorf("max probe %s beyond Fig. 3 tail", max)
+	}
+}
+
+func TestPlanetLabPairwiseRTT(t *testing.T) {
+	p := NewPlanetLab(DefaultPlanetLab(400))
+	var rtts []time.Duration
+	for a := 0; a < 100; a++ {
+		for b := a + 1; b < 100; b++ {
+			oneway := p.Delay(a, b)
+			if oneway != p.Delay(b, a) {
+				t.Fatalf("asymmetric delay")
+			}
+			rtts = append(rtts, 2*oneway)
+		}
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	median := rtts[len(rtts)/2]
+	if median < 40*time.Millisecond || median > 200*time.Millisecond {
+		t.Fatalf("median pairwise RTT %s outside plausible PlanetLab range", median)
+	}
+}
+
+func TestSlownessQuantileMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return slownessQuantile(a) <= slownessQuantile(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if q := slownessQuantile(-1); q != slownessQuantile(0) {
+		t.Error("negative percentile not clamped")
+	}
+	if q := slownessQuantile(2); q > 11*time.Second {
+		t.Error("overflow percentile not clamped")
+	}
+}
+
+func TestMixedDeployment(t *testing.T) {
+	pl := NewPlanetLab(DefaultPlanetLab(100))
+	mn := NewModelNet(DefaultModelNet(100))
+	mx := NewMixed(pl, mn, 100, 60*time.Millisecond)
+
+	// Intra-side delays match the underlying models.
+	if mx.Delay(3, 7) != pl.Delay(3, 7) {
+		t.Error("A-side delay mismatch")
+	}
+	if mx.Delay(103, 107) != mn.Delay(3, 7) {
+		t.Error("B-side delay mismatch")
+	}
+	// Cross-side delay includes the WAN hop.
+	cross := mx.Delay(3, 103)
+	if cross < 30*time.Millisecond {
+		t.Errorf("cross delay %s too small", cross)
+	}
+	if mx.Delay(3, 103) != mx.Delay(103, 3) {
+		t.Error("cross delay asymmetric")
+	}
+	// Bandwidth routed to the right side.
+	if mx.UplinkBps(103) != mn.UplinkBps(3) {
+		t.Error("B-side bandwidth mismatch")
+	}
+	if mx.UplinkBps(3) != pl.UplinkBps(3) {
+		t.Error("A-side bandwidth mismatch")
+	}
+}
+
+func TestProcDelayScalesWithSlowness(t *testing.T) {
+	p := NewPlanetLab(DefaultPlanetLab(450))
+	// Identify the fastest and slowest host by percentile.
+	fast, slow := 0, 0
+	for i := range p.slow {
+		if p.slow[i] < p.slow[fast] {
+			fast = i
+		}
+		if p.slow[i] > p.slow[slow] {
+			slow = i
+		}
+	}
+	avg := func(h int) time.Duration {
+		var sum time.Duration
+		for i := 0; i < 2000; i++ {
+			sum += p.ProcDelay(h, 1024)
+		}
+		return sum / 2000
+	}
+	if af, as := avg(fast), avg(slow); af >= as {
+		t.Fatalf("fast host proc delay %s ≥ slow host %s", af, as)
+	}
+}

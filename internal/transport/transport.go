@@ -1,0 +1,124 @@
+// Package transport defines the network abstraction shared by all SPLAY
+// runtimes. Protocol code is written once against these interfaces; the
+// simulated network (internal/simnet) implements them on top of the
+// discrete-event kernel, and the live network (internal/livenet) implements
+// them on top of the standard net package.
+//
+// The surface deliberately mirrors a small subset of net: stream
+// connections with deadlines, listeners, and unreliable datagrams. SPLAY's
+// sandboxed socket library (internal/sandbox) wraps these interfaces to
+// enforce the restrictions the paper describes (socket counts, bandwidth
+// caps, blacklists, forced losses).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Addr identifies a network endpoint: a host name plus a port. In the
+// simulated network hosts are named "n0", "n1", …; in the live network the
+// host is an IP address or DNS name.
+type Addr struct {
+	Host string `json:"host"`
+	Port int    `json:"port"`
+}
+
+// String renders the address as host:port.
+func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a.Host == "" && a.Port == 0 }
+
+// ParseAddr parses "host:port".
+func ParseAddr(s string) (Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Addr{}, fmt.Errorf("transport: address %q missing port", s)
+	}
+	port, err := strconv.Atoi(s[i+1:])
+	if err != nil || port < 0 || port > 65535 {
+		return Addr{}, fmt.Errorf("transport: address %q has invalid port", s)
+	}
+	return Addr{Host: s[:i], Port: port}, nil
+}
+
+// Common transport errors. They satisfy errors.Is against themselves and
+// carry net.Error-style Timeout information where relevant.
+var (
+	// ErrClosed is returned by operations on closed sockets or listeners.
+	ErrClosed = errors.New("transport: use of closed connection")
+	// ErrRefused is returned by Dial when nothing listens on the target.
+	ErrRefused = errors.New("transport: connection refused")
+	// ErrTimeout is returned when a deadline or dial timeout expires.
+	ErrTimeout = timeoutError{}
+	// ErrBlacklisted is returned by sandboxed sockets for forbidden peers.
+	ErrBlacklisted = errors.New("transport: address blacklisted")
+	// ErrLimit is returned when a sandbox resource limit is exceeded.
+	ErrLimit = errors.New("transport: resource limit exceeded")
+)
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "transport: i/o timeout" }
+
+// Timeout marks the error as a timeout, matching the net.Error convention.
+func (timeoutError) Timeout() bool { return true }
+
+// Temporary marks the error as retryable, matching the net.Error convention.
+func (timeoutError) Temporary() bool { return true }
+
+// Conn is a reliable, ordered byte stream between two endpoints.
+type Conn interface {
+	io.ReadWriteCloser
+	// LocalAddr returns the local endpoint of the connection.
+	LocalAddr() Addr
+	// RemoteAddr returns the remote endpoint of the connection.
+	RemoteAddr() Addr
+	// SetReadDeadline sets the absolute deadline for future Read calls.
+	// A zero time clears the deadline.
+	SetReadDeadline(t time.Time) error
+}
+
+// Listener accepts incoming stream connections.
+type Listener interface {
+	// Accept blocks until a connection arrives or the listener is closed.
+	Accept() (Conn, error)
+	// Close releases the port. Blocked Accept calls return ErrClosed.
+	Close() error
+	// Addr returns the bound address.
+	Addr() Addr
+}
+
+// PacketConn sends and receives unreliable datagrams.
+type PacketConn interface {
+	// ReadFrom blocks for the next datagram and reports its sender.
+	ReadFrom(p []byte) (int, Addr, error)
+	// WriteTo sends one datagram. Delivery is not guaranteed.
+	WriteTo(p []byte, to Addr) (int, error)
+	// Close releases the port.
+	Close() error
+	// SetReadDeadline sets the absolute deadline for future ReadFrom calls.
+	SetReadDeadline(t time.Time) error
+	// Addr returns the bound address.
+	Addr() Addr
+}
+
+// Node is one host's view of the network: the factory for its sockets.
+type Node interface {
+	// Host returns the node's host name (the Host part of its addresses).
+	Host() string
+	// Listen binds a stream listener on the given port. Port 0 picks a free
+	// port.
+	Listen(port int) (Listener, error)
+	// Dial opens a stream connection to the remote address, failing after
+	// timeout (0 means a runtime-specific default).
+	Dial(to Addr, timeout time.Duration) (Conn, error)
+	// ListenPacket binds a datagram socket on the given port. Port 0 picks
+	// a free port.
+	ListenPacket(port int) (PacketConn, error)
+}

@@ -1,0 +1,68 @@
+// Package splay is the public facade of the SPLAY reproduction: an
+// integrated system for prototyping, deploying and evaluating large-scale
+// distributed applications, after Leonini, Rivière and Felber, "SPLAY:
+// Distributed Systems Evaluation Made Simple" (NSDI 2009).
+//
+// Applications implement App and run against an AppContext: an
+// event-driven environment with cooperative tasks, periodic activities,
+// RPC, sandboxed sockets/filesystem, and per-job deployment information.
+// The same application code runs under the deterministic simulation
+// runtime (virtual time, simulated testbeds — ModelNet-style clusters,
+// a PlanetLab model, mixed deployments, trace- or script-driven churn) or
+// under the live runtime on real networks through splayctl/splayd.
+//
+// Entry points:
+//   - NewSimRuntime / NewLiveRuntime: execution environments.
+//   - NewRegistry + apps in internal/apps: deployable applications.
+//   - cmd/splayctl, cmd/splayd, cmd/splay: the live deployment chain.
+//   - cmd/splay-experiments: regenerate every figure/table of the paper.
+//
+// See DESIGN.md for architecture and EXPERIMENTS.md for the recorded
+// reproduction results.
+package splay
+
+import (
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/sim"
+)
+
+// Re-exported core types: the application-facing API.
+type (
+	// App is a deployable SPLAY application.
+	App = core.App
+	// AppFunc adapts a function to App.
+	AppFunc = core.AppFunc
+	// AppContext is the sandboxed execution environment of one instance.
+	AppContext = core.AppContext
+	// JobInfo carries deployment information (job.me/nodes/position).
+	JobInfo = core.JobInfo
+	// Runtime abstracts time and task scheduling (simulated or live).
+	Runtime = core.Runtime
+	// Registry maps application names to factories.
+	Registry = core.Registry
+	// Factory builds an application from JSON parameters.
+	Factory = core.Factory
+	// Lock is the cooperative lock library.
+	Lock = core.Lock
+	// Logger is the application logging surface.
+	Logger = core.Logger
+)
+
+// NewKernel creates a discrete-event simulation kernel.
+func NewKernel() *sim.Kernel { return sim.NewKernel() }
+
+// NewSimRuntime wraps a kernel as a Runtime.
+func NewSimRuntime(k *sim.Kernel, seed int64) Runtime { return core.NewSimRuntime(k, seed) }
+
+// NewLiveRuntime returns the real-time runtime.
+func NewLiveRuntime(seed int64) Runtime { return core.NewLiveRuntime(seed) }
+
+// NewRegistry returns an empty application registry.
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// NewAppContext builds an instance context; most users go through
+// StartInstance or the daemon instead.
+var NewAppContext = core.NewAppContext
+
+// StartInstance runs an application as a supervised instance.
+var StartInstance = core.StartInstance
