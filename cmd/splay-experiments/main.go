@@ -3,11 +3,17 @@
 // rows/series (see DESIGN.md for the index and EXPERIMENTS.md for the
 // recorded results).
 //
+// Each experiment is a single-threaded deterministic simulation, so
+// independent experiments shard across CPU cores; -parallel controls the
+// worker count (default GOMAXPROCS, 1 forces the old serial behaviour).
+// Outputs are buffered per experiment and printed in order: the bytes are
+// identical whatever the parallelism.
+//
 // Usage:
 //
 //	splay-experiments -list
 //	splay-experiments -run fig6a [-scale 0.5] [-seed 2009]
-//	splay-experiments -run all -scale 0.2
+//	splay-experiments -run all -scale 0.2 [-parallel 8]
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/splaykit/splay/internal/experiments"
@@ -25,6 +33,7 @@ func main() {
 	run := flag.String("run", "", "experiment id, or 'all'")
 	scale := flag.Float64("scale", 1.0, "population/workload scale in (0,1]")
 	seed := flag.Int64("seed", 2009, "random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
 
@@ -41,23 +50,52 @@ func main() {
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		fmt.Printf("=== %s (scale %.2f) ===\n", id, *scale)
-		res, err := experiments.Run(id, experiments.Options{
-			Scale: *scale, Seed: *seed, Out: os.Stdout,
-		})
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
+
+	specs := make([]experiments.Spec, len(ids))
+	for i, id := range ids {
+		specs[i] = experiments.Spec{ID: id, Opt: experiments.Options{Scale: *scale, Seed: *seed}}
+	}
+	start := time.Now()
+
+	print := func(oc experiments.Outcome) {
+		fmt.Printf("=== %s (scale %.2f) ===\n", oc.ID, *scale)
+		if oc.Err != nil {
+			log.Fatalf("%s: %v", oc.ID, oc.Err)
 		}
-		keys := make([]string, 0, len(res.Metrics))
-		for k := range res.Metrics {
+		os.Stdout.Write(oc.Output) //nolint:errcheck
+		keys := make([]string, 0, len(oc.Res.Metrics))
+		for k := range oc.Res.Metrics {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("metric %-28s %.3f\n", k, res.Metrics[k])
+			fmt.Printf("metric %-28s %.3f\n", k, oc.Res.Metrics[k])
 		}
-		fmt.Printf("=== %s done in %s ===\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("=== %s done in %s ===\n\n", oc.ID, oc.Elapsed.Round(time.Millisecond))
+	}
+
+	// Stream results in submission order as they complete: the bytes are
+	// identical to a serial run, but progress is visible and a failure
+	// aborts as soon as every earlier experiment has printed.
+	var mu sync.Mutex
+	pending := make(map[int]experiments.Outcome)
+	cursor := 0
+	experiments.RunParallelFunc(specs, *parallel, func(i int, oc experiments.Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		pending[i] = oc
+		for {
+			next, ok := pending[cursor]
+			if !ok {
+				break
+			}
+			delete(pending, cursor)
+			cursor++
+			print(next)
+		}
+	})
+	if len(specs) > 1 {
+		fmt.Printf("total: %d experiments in %s (%d workers)\n",
+			len(specs), time.Since(start).Round(time.Millisecond), *parallel)
 	}
 }

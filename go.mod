@@ -1,0 +1,3 @@
+module github.com/splaykit/splay
+
+go 1.24

@@ -442,7 +442,9 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 				c.call(d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
 				return
 			}
-			if enough {
+			// Never wake after selection closed: the (pooled) waiter may
+			// already be recycled for an unrelated rendezvous.
+			if enough && !late {
 				done.Wake(nil)
 			}
 		})

@@ -24,6 +24,7 @@ func run(t *testing.T, id string, scale float64) *Result {
 }
 
 func TestUnknownExperiment(t *testing.T) {
+	t.Parallel()
 	if _, err := Run("nope", Options{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -33,6 +34,7 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig3", 0.2)
 	if p := res.Metrics["p_under_250ms"]; p < 0.12 || p > 0.22 {
 		t.Errorf("P(≤250ms) = %.3f, paper: 0.171", p)
@@ -43,6 +45,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig4", 1)
 	if res.Metrics["pop_after_join"] != 10 {
 		t.Errorf("initial join population = %v", res.Metrics["pop_after_join"])
@@ -56,6 +59,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestTab1Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "tab1", 1)
 	if res.Metrics["chord"] <= 0 || res.Metrics["pastry"] <= 0 {
 		t.Fatal("missing protocol counts")
@@ -67,6 +71,7 @@ func TestTab1Shape(t *testing.T) {
 }
 
 func TestFig6aShape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig6a", 0.12)
 	for _, n := range []int{300, 500, 1000} {
 		mean := res.Metrics[sprintf("mean_hops_%d", n)]
@@ -78,6 +83,7 @@ func TestFig6aShape(t *testing.T) {
 }
 
 func TestFig6cShape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig6c", 0.15)
 	// MIT (latency-aware) must beat plain SPLAY Chord on delay.
 	if res.Metrics["mit_median_ms"] >= res.Metrics["splay_median_ms"] {
@@ -87,6 +93,7 @@ func TestFig6cShape(t *testing.T) {
 }
 
 func TestFig7aShape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig7a", 0.25)
 	if res.Metrics["freepastry_median_ms"] <= res.Metrics["splay_median_ms"] {
 		t.Errorf("freepastry median %.0fms not above splay %.0fms",
@@ -95,6 +102,7 @@ func TestFig7aShape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig8", 1)
 	if res.Metrics["swap_onset"] != 1263 {
 		t.Errorf("swap onset = %v, paper: 1263", res.Metrics["swap_onset"])
@@ -105,6 +113,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig12", 0.3)
 	// Larger supersets deploy faster (or equal), and deployment times sit
 	// in the paper's 0–10 s band.
@@ -121,6 +130,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	t.Parallel()
 	res := run(t, "fig13", 0.25)
 	for _, label := range []string{"splay-16KB", "splay-128KB", "splay-512KB",
 		"crcp-16KB", "crcp-128KB", "crcp-512KB"} {
@@ -139,6 +149,7 @@ func TestFig13Shape(t *testing.T) {
 func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
 
 func TestFig10Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("heavy churn experiment")
 	}
@@ -153,6 +164,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("heavy cache experiment")
 	}
@@ -168,6 +180,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("heavy three-testbed experiment")
 	}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testdata/golden_small.txt pins every experiment's Result.Metrics at a
+// fixed (scale, seed), recorded before the kernel fast-path rewrite (pooled
+// events, timer wheel, pooled tasks/waiters). Determinism is a hard
+// invariant: the same (id, scale, seed) must produce bit-identical metrics
+// on every kernel revision. Values are hex floats, so the comparison is
+// exact to the last bit.
+//
+// Regenerate (only when an experiment's logic intentionally changes) by
+// running the experiments at the scales below and formatting each metric
+// with strconv.FormatFloat(v, 'x', -1, 64).
+
+func readGolden(t *testing.T) map[string][]string {
+	t.Helper()
+	f, err := os.Open("testdata/golden_small.txt")
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	defer f.Close()
+	perID := make(map[string][]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id := line[:strings.IndexByte(line, ' ')]
+		perID[id] = append(perID[id], line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return perID
+}
+
+// TestGoldenBitForBit re-runs all sixteen experiments (sharded across the
+// CPU via RunParallel) and compares every metric bit-for-bit against the
+// pre-rewrite golden record.
+func TestGoldenBitForBit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	golden := readGolden(t)
+	scales := map[string]float64{
+		"fig3": 0.2, "fig4": 1, "tab1": 1,
+		"fig6a": 0.1, "fig6b": 0.1, "fig6c": 0.12,
+		"fig7a": 0.15, "fig7b": 0.08, "fig7c": 0.05,
+		"fig8": 1, "fig9": 0.08, "fig10": 0.05, "fig11": 0.05,
+		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
+	}
+	specs := make([]Spec, 0, len(scales))
+	for _, id := range IDs() {
+		scale, ok := scales[id]
+		if !ok {
+			t.Fatalf("experiment %s has no golden scale; extend the table and regenerate", id)
+		}
+		specs = append(specs, Spec{ID: id, Opt: Options{Scale: scale, Seed: 11, Out: io.Discard}})
+	}
+	for _, oc := range RunParallel(specs, 0) {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.ID, oc.Err)
+		}
+		keys := make([]string, 0, len(oc.Res.Metrics))
+		for k := range oc.Res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		got := make([]string, 0, len(keys))
+		for _, k := range keys {
+			got = append(got, fmt.Sprintf("%s %.2f 11 %s %s", oc.ID, scales[oc.ID], k,
+				strconv.FormatFloat(oc.Res.Metrics[k], 'x', -1, 64)))
+		}
+		want := golden[oc.ID]
+		if len(got) != len(want) {
+			t.Errorf("%s: %d metrics, golden has %d", oc.ID, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: metric drifted:\n got  %s\n want %s", oc.ID, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelMatchesSerial checks that sharding changes neither metrics
+// nor the bytes an experiment writes.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	specs := []Spec{
+		{ID: "fig4", Opt: Options{Scale: 1, Seed: 7}},
+		{ID: "fig6b", Opt: Options{Scale: 0.1, Seed: 7}},
+		{ID: "fig12", Opt: Options{Scale: 0.2, Seed: 7}},
+	}
+	serial := make([]Outcome, len(specs))
+	for i, s := range specs {
+		var buf bytes.Buffer
+		opt := s.Opt
+		opt.Out = &buf
+		res, err := Run(s.ID, opt)
+		serial[i] = Outcome{ID: s.ID, Res: res, Err: err, Output: buf.Bytes()}
+	}
+	parallel := RunParallel(specs, len(specs))
+	for i := range specs {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s: serial err %v, parallel err %v", specs[i].ID, s.Err, p.Err)
+		}
+		if !bytes.Equal(s.Output, p.Output) {
+			t.Errorf("%s: output differs between serial and parallel runs", specs[i].ID)
+		}
+		if len(s.Res.Metrics) != len(p.Res.Metrics) {
+			t.Fatalf("%s: metric counts differ", specs[i].ID)
+		}
+		for k, v := range s.Res.Metrics {
+			if pv, ok := p.Res.Metrics[k]; !ok || pv != v {
+				t.Errorf("%s: metric %s: serial %v, parallel %v", specs[i].ID, k, v, pv)
+			}
+		}
+	}
+}
+
+// TestRunParallelEmptyAndErrors covers the edges: no specs, unknown ids.
+func TestRunParallelEmptyAndErrors(t *testing.T) {
+	t.Parallel()
+	if got := RunParallel(nil, 4); len(got) != 0 {
+		t.Fatalf("empty specs produced %d outcomes", len(got))
+	}
+	out := RunParallel([]Spec{{ID: "nope"}}, 4)
+	if len(out) != 1 || out[0].Err == nil {
+		t.Fatalf("unknown experiment did not error: %+v", out)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Each simulation kernel is single-threaded and deterministic, and distinct
+// experiment runs share no mutable state, so a sweep over (id, scale, seed)
+// combinations is embarrassingly parallel: RunParallel shards runs across
+// GOMAXPROCS workers while keeping outputs and results in submission order,
+// byte-identical to a serial sweep.
+
+// Spec names one experiment run for RunParallel.
+type Spec struct {
+	ID  string
+	Opt Options
+}
+
+// Outcome is one completed run. Output holds the rows the experiment wrote
+// (Spec.Opt.Out is ignored by RunParallel: every run gets a private buffer
+// so concurrent runs cannot interleave their rows).
+type Outcome struct {
+	ID      string
+	Res     *Result
+	Err     error
+	Output  []byte
+	Elapsed time.Duration
+}
+
+// RunParallel executes specs across at most workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns outcomes in the order the specs were given.
+// Each run is itself a fully serial, deterministic simulation; parallelism
+// changes wall-clock time only, never results.
+func RunParallel(specs []Spec, workers int) []Outcome {
+	out := make([]Outcome, len(specs))
+	RunParallelFunc(specs, workers, func(i int, oc Outcome) { out[i] = oc })
+	return out
+}
+
+// RunParallelFunc is RunParallel with streaming delivery: onDone is invoked
+// once per spec as that run completes — in completion order, possibly
+// concurrently from several workers — with the spec's index. Callers that
+// need submission order (progress output, fail-fast) reorder with a cursor.
+func RunParallelFunc(specs []Spec, workers int, onDone func(i int, oc Outcome)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if len(specs) == 0 {
+		return
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := specs[i]
+				var buf bytes.Buffer
+				spec.Opt.Out = &buf
+				start := time.Now()
+				res, err := Run(spec.ID, spec.Opt)
+				onDone(i, Outcome{
+					ID:      spec.ID,
+					Res:     res,
+					Err:     err,
+					Output:  buf.Bytes(),
+					Elapsed: time.Since(start),
+				})
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

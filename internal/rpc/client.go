@@ -96,6 +96,14 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		w.WakeAfter(timeout, error(ErrTimeout))
 		pc.dialWaiters = append(pc.dialWaiters, w)
 		if v := w.Wait(); v != nil {
+			// Timed out before the dial verdict: drop our (now recycled,
+			// pooled) waiter from the list so the verdict cannot touch it.
+			for i, dw := range pc.dialWaiters {
+				if dw == w {
+					pc.dialWaiters = append(pc.dialWaiters[:i], pc.dialWaiters[i+1:]...)
+					break
+				}
+			}
 			return nil, v.(error)
 		}
 		return pc, nil

@@ -10,10 +10,14 @@
 // This mirrors the SPLAY execution model: Lua coroutines scheduled by a
 // single-threaded event loop, where the processor is yielded only at
 // blocking points in the base libraries.
+//
+// The scheduling hot path is allocation-free in steady state: events, tasks
+// (with their goroutines and parking channels) and Waiters are all pooled on
+// free lists, and the event queue is a hierarchical timer wheel (see
+// wheel.go and DESIGN.md).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -22,42 +26,43 @@ import (
 // date is arbitrary; experiments only use durations relative to it.
 var Epoch = time.Date(2009, 4, 22, 0, 0, 0, 0, time.UTC)
 
-// event is a scheduled callback. Events with equal times fire in scheduling
-// order (seq) so the run loop is fully deterministic.
-type event struct {
-	at       time.Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, maintained by eventHeap
+// maxFreeTasks bounds the task pool: a finished task's goroutine parks for
+// reuse up to this limit and exits beyond it, so bursty spawns don't pin an
+// unbounded number of idle goroutines to the kernel.
+const maxFreeTasks = 512
+
+// task is a pooled cooperative task: one goroutine plus one parking channel,
+// reused across task spawns so GoAfter and Waiter.Wait never allocate a
+// channel.
+type task struct {
+	k    *Kernel
+	park chan any // kernel -> task: resume value (or spawn kick-off)
+	fn   func()   // body to run, set by the kernel before the spawn resume
+	next *task    // free-list link
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+// loop is the task goroutine's life: wait for a spawn, run the body, recycle.
+// A closed park channel (drainTaskPool) retires the goroutine.
+func (t *task) loop() {
+	for {
+		if _, ok := <-t.park; !ok {
+			return
+		}
+		t.fn()
+		t.fn = nil
+		k := t.k
+		k.tasks--
+		recycled := k.freeTaskCount < maxFreeTasks
+		if recycled {
+			t.next = k.freeTasks
+			k.freeTasks = t
+			k.freeTaskCount++
+		}
+		k.yield <- struct{}{}
+		if !recycled {
+			return
+		}
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; create
@@ -69,28 +74,31 @@ func (h *eventHeap) Pop() any {
 // use from foreign goroutines; tasks and events already execute one at a
 // time.
 type Kernel struct {
-	now    time.Time
-	queue  eventHeap
-	seq    uint64
-	yield  chan struct{} // task -> kernel: parked or finished
-	tasks  int           // live (started, unfinished) tasks
-	events uint64        // total events executed, for stats
-	halted bool
+	nowNS   int64 // virtual ns since Epoch
+	seq     uint64
+	wq      wheel
+	yield   chan struct{} // task -> kernel: parked or finished
+	current *task         // the task executing right now, nil on the run loop
+	tasks   int           // live (started, unfinished) tasks
+	events  uint64        // total events executed, for stats
+	halted  bool
+
+	freeEvents    *event
+	freeTasks     *task
+	freeTaskCount int
+	freeWaiters   *Waiter
 }
 
 // NewKernel returns a kernel with its clock set to Epoch.
 func NewKernel() *Kernel {
-	return &Kernel{
-		now:   Epoch,
-		yield: make(chan struct{}),
-	}
+	return &Kernel{yield: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
-func (k *Kernel) Now() time.Time { return k.now }
+func (k *Kernel) Now() time.Time { return Epoch.Add(time.Duration(k.nowNS)) }
 
 // Since returns the virtual duration elapsed since the epoch.
-func (k *Kernel) Since() time.Duration { return k.now.Sub(Epoch) }
+func (k *Kernel) Since() time.Duration { return time.Duration(k.nowNS) }
 
 // Events returns the number of events executed so far.
 func (k *Kernel) Events() uint64 { return k.events }
@@ -98,27 +106,97 @@ func (k *Kernel) Events() uint64 { return k.events }
 // Tasks returns the number of live tasks.
 func (k *Kernel) Tasks() int { return k.tasks }
 
-// schedule enqueues fn to run at virtual time t (clamped to now).
-func (k *Kernel) schedule(t time.Time, fn func()) *event {
-	if t.Before(k.now) {
-		t = k.now
+// alloc takes an event from the free list, or makes one.
+func (k *Kernel) alloc() *event {
+	if e := k.freeEvents; e != nil {
+		k.freeEvents = e.next
+		e.next = nil
+		return e
 	}
-	e := &event{at: t, seq: k.seq, fn: fn}
+	return &event{}
+}
+
+// free recycles a fired or canceled event. Bumping gen invalidates every
+// outstanding Timer handle to it, so cancel-after-fire is a safe no-op.
+func (k *Kernel) free(e *event) {
+	e.gen++
+	e.kind = 0
+	e.canceled = false
+	e.fn = nil
+	e.task = nil
+	e.w = nil
+	e.wgen = 0
+	e.v = nil
+	e.next = k.freeEvents
+	k.freeEvents = e
+}
+
+// push enqueues e at virtual time atNS (clamped to now) and assigns its
+// FIFO sequence number.
+func (k *Kernel) push(e *event, atNS int64) {
+	if atNS < k.nowNS {
+		atNS = k.nowNS
+	}
+	e.atNS = atNS
+	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.wq.push(e)
+}
+
+// Timer is a handle to a scheduled event, returned by the allocation-free
+// scheduling entry points. The zero Timer is valid and Stop on it is a
+// no-op. Timer values may be copied freely and outlive the event: a
+// generation check makes Stop after firing (or after the event's pooled
+// storage was reused) a safe no-op.
+type Timer struct {
+	e   *event
+	gen uint64
+}
+
+// Stop cancels the pending event and reports whether it was still pending.
+// Stopping a fired, already-stopped or zero Timer returns false.
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.gen != t.gen || t.e.canceled {
+		return false
+	}
+	t.e.canceled = true
+	return true
+}
+
+// AfterFunc schedules fn to run once after virtual duration d on the run
+// loop. This is the allocation-free fast path: the event comes from the
+// kernel's pool and the Timer handle is a plain value.
+func (k *Kernel) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	e := k.alloc()
+	e.kind = evFunc
+	e.fn = fn
+	k.push(e, k.nowNS+int64(d))
+	return Timer{e: e, gen: e.gen}
+}
+
+// AtFunc schedules fn to run once at absolute virtual time at (clamped to
+// now), like AfterFunc.
+func (k *Kernel) AtFunc(at time.Time, fn func()) Timer {
+	e := k.alloc()
+	e.kind = evFunc
+	e.fn = fn
+	k.push(e, int64(at.Sub(Epoch)))
+	return Timer{e: e, gen: e.gen}
 }
 
 // After schedules fn to run once after virtual duration d and returns a
 // cancel function. Cancelling after the event has fired is a no-op. The
 // callback runs on the kernel's run loop and must not block; to run blocking
 // code, have the callback call Go.
+//
+// After allocates a closure for the cancel function; hot paths should use
+// AfterFunc and keep the Timer instead.
 func (k *Kernel) After(d time.Duration, fn func()) (cancel func()) {
-	if d < 0 {
-		d = 0
-	}
-	e := k.schedule(k.now.Add(d), fn)
-	return func() { e.canceled = true }
+	t := k.AfterFunc(d, fn)
+	return func() { t.Stop() }
 }
 
 // Go starts fn as a new cooperative task at the current virtual time.
@@ -127,84 +205,179 @@ func (k *Kernel) Go(fn func()) {
 	k.GoAfter(0, fn)
 }
 
-// GoAfter starts fn as a new task after virtual duration d.
+// GoAfter starts fn as a new task after virtual duration d. The task runs
+// on a pooled goroutine; spawning is allocation-free in steady state.
 func (k *Kernel) GoAfter(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
 	k.tasks++
-	k.schedule(k.now.Add(d), func() {
-		start := make(chan any)
-		go func() {
-			<-start
-			defer func() {
-				k.tasks--
-				k.yield <- struct{}{}
-			}()
-			fn()
-		}()
-		k.handoff(start, nil)
-	})
+	e := k.alloc()
+	e.kind = evSpawn
+	e.fn = fn
+	k.push(e, k.nowNS+int64(d))
 }
 
-// handoff resumes a task goroutine blocked on ch and waits until it parks
-// again or finishes. It must only be called from the kernel run loop (event
-// callbacks).
-func (k *Kernel) handoff(ch chan any, v any) {
-	ch <- v
+// allocTask takes a parked task goroutine from the pool, or starts one.
+func (k *Kernel) allocTask() *task {
+	if t := k.freeTasks; t != nil {
+		k.freeTasks = t.next
+		k.freeTaskCount--
+		t.next = nil
+		return t
+	}
+	t := &task{k: k, park: make(chan any)}
+	go t.loop()
+	return t
+}
+
+// resume hands the processor to t, delivering v, and waits until t parks
+// again or finishes. It must only be called from the kernel run loop.
+func (k *Kernel) resume(t *task, v any) {
+	k.current = t
+	t.park <- v
 	<-k.yield
+	k.current = nil
+}
+
+// parkCurrent parks the calling task and returns the value the kernel
+// delivers when it is resumed.
+func (k *Kernel) parkCurrent() any {
+	t := k.current
+	if t == nil {
+		panic("sim: blocking kernel primitive called outside a task")
+	}
+	k.yield <- struct{}{}
+	return <-t.park
 }
 
 // Sleep parks the calling task for virtual duration d.
 func (k *Kernel) Sleep(d time.Duration) {
-	w := k.NewWaiter()
-	k.After(d, func() { w.Wake(nil) })
-	w.Wait()
+	if d < 0 {
+		d = 0
+	}
+	t := k.current
+	if t == nil {
+		panic("sim: Sleep called outside a task")
+	}
+	e := k.alloc()
+	e.kind = evSleep
+	e.task = t
+	k.push(e, k.nowNS+int64(d))
+	k.parkCurrent()
 }
 
 // Run executes events until the queue is empty or Halt is called. It returns
 // the number of events executed during this call.
 func (k *Kernel) Run() uint64 {
-	return k.run(time.Time{}, false)
+	return k.run(0, false)
 }
 
 // RunUntil executes events with firing times ≤ t, then sets the clock to t.
 func (k *Kernel) RunUntil(t time.Time) uint64 {
-	return k.run(t, true)
+	return k.run(int64(t.Sub(Epoch)), true)
 }
 
 // RunFor advances the simulation by virtual duration d.
 func (k *Kernel) RunFor(d time.Duration) uint64 {
-	return k.RunUntil(k.now.Add(d))
+	return k.run(k.nowNS+int64(d), true)
 }
 
 // Halt stops the run loop after the current event completes. It may be
 // called from tasks or event callbacks.
 func (k *Kernel) Halt() { k.halted = true }
 
-func (k *Kernel) run(limit time.Time, bounded bool) uint64 {
+// setNow advances the clock and keeps the timer wheel's cursor in step.
+func (k *Kernel) setNow(ns int64) {
+	k.nowNS = ns
+	k.wq.advanceTo(ns)
+}
+
+func (k *Kernel) run(limitNS int64, bounded bool) uint64 {
 	k.halted = false
 	var n uint64
-	for len(k.queue) > 0 && !k.halted {
-		next := k.queue[0]
-		if bounded && next.at.After(limit) {
+	for !k.halted {
+		e := k.wq.pop(limitNS, bounded)
+		if e == nil {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.canceled {
+		if e.canceled {
+			k.free(e)
 			continue
 		}
-		if next.at.After(k.now) {
-			k.now = next.at
+		if e.atNS > k.nowNS {
+			k.setNow(e.atNS)
 		}
-		next.fn()
+		k.fire(e)
 		n++
 		k.events++
 	}
-	if bounded && !k.halted && limit.After(k.now) {
-		k.now = limit
+	if bounded && !k.halted && limitNS > k.nowNS {
+		k.setNow(limitNS)
+	}
+	if k.wq.size() == 0 {
+		// Nothing can fire until new work is scheduled from outside, so
+		// retire the idle pooled goroutines: goroutines blocked on a
+		// reachable channel are never collected, and without this every
+		// finished simulation would pin its task pool (and kernel) for the
+		// process lifetime. The pool re-grows on demand.
+		k.drainTaskPool()
 	}
 	return n
+}
+
+// drainTaskPool retires every idle pooled task goroutine. Only free tasks
+// are touched; parked tasks (blocked in Wait) keep running when resumed.
+func (k *Kernel) drainTaskPool() {
+	for t := k.freeTasks; t != nil; {
+		next := t.next
+		t.next = nil
+		close(t.park)
+		t = next
+	}
+	k.freeTasks = nil
+	k.freeTaskCount = 0
+}
+
+// fire executes one event. The event is recycled before its action runs, so
+// the action is free to schedule (and the pool to reuse) immediately.
+func (k *Kernel) fire(e *event) {
+	switch e.kind {
+	case evFunc:
+		fn := e.fn
+		k.free(e)
+		fn()
+	case evSpawn:
+		fn := e.fn
+		k.free(e)
+		t := k.allocTask()
+		t.fn = fn
+		k.resume(t, nil)
+	case evResume:
+		t, v := e.task, e.v
+		k.free(e)
+		k.resume(t, v)
+	case evSleep:
+		// Two-step on purpose: the timer fires, then the resume is scheduled
+		// at the same instant with a fresh sequence number — exactly the
+		// event order of the original Waiter-based Sleep, preserving
+		// bit-for-bit compatibility of simulation schedules.
+		t := e.task
+		k.free(e)
+		r := k.alloc()
+		r.kind = evResume
+		r.task = t
+		k.push(r, k.nowNS)
+	case evWake:
+		w, g, v := e.w, e.wgen, e.v
+		k.free(e)
+		if w.gen == g {
+			w.timer = Timer{}
+			w.Wake(v)
+		}
+	default:
+		panic("sim: unknown event kind")
+	}
 }
 
 // Waiter is a one-shot parking spot for a task. A task creates a Waiter,
@@ -216,18 +389,64 @@ func (k *Kernel) run(limit time.Time, bounded bool) uint64 {
 // a call timeout expiring while the caller is still blocked writing the
 // request. The value is then stashed and Wait returns it immediately
 // without parking.
+//
+// Waiters are pooled: Wait recycles the waiter as it returns, so a *Waiter
+// must not be used again after its Wait has returned. Code that may hold a
+// reference past that point (for example a delayed network verdict racing a
+// timeout) must go through Ref, whose generation check makes stale wakes
+// safe no-ops.
 type Waiter struct {
 	k      *Kernel
-	ch     chan any
+	gen    uint64 // incremented on recycle; guards Refs and armed timers
 	done   bool
 	parked bool
-	value  any    // stashed wake value when woken before parking
-	timer  func() // cancel for the armed timeout, if any
+	task   *task // owner, once parked
+	value  any   // stashed wake value when woken before parking
+	timer  Timer // armed timeout, if any
+	next   *Waiter
 }
 
-// NewWaiter returns a fresh waiter bound to the kernel.
+// NewWaiter returns a fresh waiter bound to the kernel, taken from the
+// kernel's pool when possible.
 func (k *Kernel) NewWaiter() *Waiter {
-	return &Waiter{k: k, ch: make(chan any)}
+	if w := k.freeWaiters; w != nil {
+		k.freeWaiters = w.next
+		w.next = nil
+		return w
+	}
+	return &Waiter{k: k}
+}
+
+// freeWaiter recycles w. Bumping gen invalidates outstanding Refs and any
+// armed timer event.
+func (k *Kernel) freeWaiter(w *Waiter) {
+	w.gen++
+	w.done = false
+	w.parked = false
+	w.task = nil
+	w.value = nil
+	w.timer = Timer{}
+	w.next = k.freeWaiters
+	k.freeWaiters = w
+}
+
+// WaiterRef is a generation-stamped reference to a Waiter. Wakes through a
+// stale ref (the waiter's Wait returned and the waiter was recycled) are
+// no-ops, which makes refs safe to stash in long-lived closures and queues.
+type WaiterRef struct {
+	w   *Waiter
+	gen uint64
+}
+
+// Ref returns a generation-stamped reference to w.
+func (w *Waiter) Ref() WaiterRef { return WaiterRef{w: w, gen: w.gen} }
+
+// Wake wakes the referenced waiter if the reference is still current.
+func (r WaiterRef) Wake(v any) bool {
+	if r.w == nil || r.w.gen != r.gen {
+		return false
+	}
+	return r.w.Wake(v)
 }
 
 // Wake delivers v to the waiting task. It returns false if the waiter was
@@ -238,16 +457,18 @@ func (w *Waiter) Wake(v any) bool {
 		return false
 	}
 	w.done = true
-	if w.timer != nil {
-		w.timer()
-		w.timer = nil
-	}
+	w.timer.Stop()
+	w.timer = Timer{}
 	if !w.parked {
 		// Owner has not reached Wait yet: stash the value.
 		w.value = v
 		return true
 	}
-	w.k.schedule(w.k.now, func() { w.k.handoff(w.ch, v) })
+	e := w.k.alloc()
+	e.kind = evResume
+	e.task = w.task
+	e.v = v
+	w.k.push(e, w.k.nowNS)
 	return true
 }
 
@@ -257,27 +478,35 @@ func (w *Waiter) WakeAfter(d time.Duration, v any) {
 	if w.done {
 		return
 	}
-	if w.timer != nil {
-		w.timer()
+	if d < 0 {
+		d = 0
 	}
-	w.timer = w.k.After(d, func() {
-		w.timer = nil
-		w.Wake(v)
-	})
+	w.timer.Stop()
+	e := w.k.alloc()
+	e.kind = evWake
+	e.w = w
+	e.wgen = w.gen
+	e.v = v
+	w.k.push(e, w.k.nowNS+int64(d))
+	w.timer = Timer{e: e, gen: e.gen}
 }
 
 // Wait parks the calling task until Wake is called and returns the value
 // passed to Wake. If the waiter was already woken, Wait returns the
-// stashed value without yielding.
+// stashed value without yielding. Wait recycles the waiter: the *Waiter
+// must not be reused after Wait returns (see Ref).
 func (w *Waiter) Wait() any {
+	k := w.k
 	if w.done {
 		v := w.value
-		w.value = nil
+		k.freeWaiter(w)
 		return v
 	}
 	w.parked = true
-	w.k.yield <- struct{}{}
-	return <-w.ch
+	w.task = k.current
+	v := k.parkCurrent()
+	k.freeWaiter(w)
+	return v
 }
 
 // Woken reports whether the waiter has already been woken.
@@ -285,5 +514,5 @@ func (w *Waiter) Woken() bool { return w.done }
 
 // String implements fmt.Stringer for debugging.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{t=%s queued=%d tasks=%d}", k.Since(), len(k.queue), k.tasks)
+	return fmt.Sprintf("sim.Kernel{t=%s queued=%d tasks=%d}", k.Since(), k.wq.size(), k.tasks)
 }

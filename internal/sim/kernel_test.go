@@ -342,11 +342,45 @@ func BenchmarkKernelEvents(b *testing.B) {
 	tick = func() {
 		n++
 		if n < b.N {
+			k.AfterFunc(time.Millisecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.AfterFunc(time.Millisecond, tick)
+	k.Run()
+}
+
+// BenchmarkKernelEventsLegacyAfter tracks the closure-returning After wrapper
+// so the cost of the compatibility path stays visible.
+func BenchmarkKernelEventsLegacyAfter(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
 			k.After(time.Millisecond, tick)
 		}
 	}
 	b.ResetTimer()
 	k.After(time.Millisecond, tick)
+	k.Run()
+}
+
+// BenchmarkKernelFarTimers schedules past the wheel horizon so every event
+// takes the overflow-heap path and cascades back into the ring.
+func BenchmarkKernelFarTimers(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.AfterFunc(2*time.Second, tick)
+		}
+	}
+	b.ResetTimer()
+	k.AfterFunc(2*time.Second, tick)
 	k.Run()
 }
 

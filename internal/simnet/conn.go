@@ -170,8 +170,7 @@ func (c *conn) Write(b []byte) (int, error) {
 	copy(data, b)
 	senderFree, delivered := c.h.nw.sendTimes(c.h, c.peerHost, len(data))
 	delivered = c.wr.deliverTime(delivered)
-	pipe := c.wr
-	k.After(delivered.Sub(k.Now()), func() { pipe.deliverData(data) })
+	c.h.nw.scheduleData(delivered, c.wr, data)
 
 	if wait := senderFree.Sub(k.Now()); wait > 0 {
 		k.Sleep(wait)
@@ -195,8 +194,7 @@ func (c *conn) Close() error {
 	delete(c.h.conns, c)
 	k := c.h.nw.kernel
 	eofAt := c.wr.deliverTime(k.Now().Add(c.h.nw.delay(c.h.id, c.peerHost.id)))
-	pipe := c.wr
-	k.After(eofAt.Sub(k.Now()), func() { pipe.deliverEOF() })
+	c.h.nw.scheduleEOF(eofAt, c.wr)
 	// Wake a parked local reader; it will observe closed.
 	c.rd.wakeReader()
 	return nil
@@ -231,7 +229,7 @@ type listener struct {
 	host    *Host
 	port    int
 	backlog []*conn
-	waiters []*sim.Waiter
+	waiters []sim.WaiterRef
 	closed  bool
 }
 
@@ -248,9 +246,9 @@ func (l *listener) deliver(c *conn) {
 		return
 	}
 	for len(l.waiters) > 0 {
-		w := l.waiters[0]
+		r := l.waiters[0]
 		l.waiters = l.waiters[1:]
-		if w.Wake(c) {
+		if r.Wake(c) {
 			return
 		}
 	}
@@ -269,7 +267,7 @@ func (l *listener) Accept() (transport.Conn, error) {
 			return c, nil
 		}
 		w := l.host.nw.kernel.NewWaiter()
-		l.waiters = append(l.waiters, w)
+		l.waiters = append(l.waiters, w.Ref())
 		switch v := w.Wait().(type) {
 		case *conn:
 			return v, nil
@@ -291,8 +289,8 @@ func (l *listener) Close() error {
 
 func (l *listener) close() {
 	l.closed = true
-	for _, w := range l.waiters {
-		w.Wake(transport.ErrClosed)
+	for _, r := range l.waiters {
+		r.Wake(transport.ErrClosed)
 	}
 	l.waiters = nil
 	for _, c := range l.backlog {

@@ -1,0 +1,91 @@
+package simnet
+
+import (
+	"time"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// delivery is a pooled, reusable scheduled message. The per-network free
+// list plus the one closure created per pooled object (d.run, capturing only
+// d) make the message hot path — stream writes, EOFs and datagrams —
+// allocation-free in steady state apart from the payload copy itself.
+type delivery struct {
+	nw   *Network
+	run  func() // scheduled on the kernel; created once per pooled object
+	next *delivery
+
+	kind uint8
+	pipe *pipe  // dlvData, dlvEOF
+	data []byte // dlvData, dlvDgram payload
+	to   *Host  // dlvDgram destination host
+	port int    // dlvDgram destination port
+	from transport.Addr
+}
+
+const (
+	dlvData uint8 = iota
+	dlvEOF
+	dlvDgram
+)
+
+func (nw *Network) newDelivery() *delivery {
+	if d := nw.freeDlv; d != nil {
+		nw.freeDlv = d.next
+		d.next = nil
+		return d
+	}
+	d := &delivery{nw: nw}
+	d.run = func() { d.fire() }
+	return d
+}
+
+// fire performs the delivery and recycles the object. All conditions are
+// re-checked at delivery time, exactly like the closures this replaces.
+func (d *delivery) fire() {
+	switch d.kind {
+	case dlvData:
+		d.pipe.deliverData(d.data)
+	case dlvEOF:
+		d.pipe.deliverEOF()
+	case dlvDgram:
+		if dst, ok := d.to.packets[d.port]; ok && !dst.closed && !d.to.down {
+			dst.deliver(dgram{data: d.data, from: d.from})
+		}
+	}
+	nw := d.nw
+	d.pipe = nil
+	d.data = nil
+	d.to = nil
+	d.from = transport.Addr{}
+	d.next = nw.freeDlv
+	nw.freeDlv = d
+}
+
+// scheduleData delivers data into p at virtual time at.
+func (nw *Network) scheduleData(at time.Time, p *pipe, data []byte) {
+	d := nw.newDelivery()
+	d.kind = dlvData
+	d.pipe = p
+	d.data = data
+	nw.kernel.AtFunc(at, d.run)
+}
+
+// scheduleEOF delivers EOF into p at virtual time at.
+func (nw *Network) scheduleEOF(at time.Time, p *pipe) {
+	d := nw.newDelivery()
+	d.kind = dlvEOF
+	d.pipe = p
+	nw.kernel.AtFunc(at, d.run)
+}
+
+// scheduleDgram delivers a datagram to (to, port) at virtual time at.
+func (nw *Network) scheduleDgram(at time.Time, to *Host, port int, data []byte, from transport.Addr) {
+	d := nw.newDelivery()
+	d.kind = dlvDgram
+	d.to = to
+	d.port = port
+	d.data = data
+	d.from = from
+	nw.kernel.AtFunc(at, d.run)
+}

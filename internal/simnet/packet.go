@@ -22,7 +22,7 @@ type packetConn struct {
 	host     *Host
 	port     int
 	queue    []dgram
-	waiters  []*sim.Waiter
+	waiters  []sim.WaiterRef // refs: entries stale after a deadline wake are inert
 	closed   bool
 	deadline time.Time
 }
@@ -61,23 +61,20 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 	}
 	data := make([]byte, len(b))
 	copy(data, b)
-	from := p.Addr()
 	_, delivered := nw.sendTimes(p.host, remote, len(data))
-	nw.kernel.After(delivered.Sub(nw.kernel.Now()), func() {
-		dst, ok := remote.packets[to.Port]
-		if !ok || dst.closed || remote.down {
-			return // silently dropped, like UDP to a dead port
-		}
-		dst.deliver(dgram{data: data, from: from})
-	})
+	// Delivery re-checks for a live destination socket at delivery time;
+	// a dead port silently swallows the datagram, like UDP.
+	nw.scheduleDgram(delivered, remote, to.Port, data, p.Addr())
 	return len(b), nil
 }
 
 func (p *packetConn) deliver(d dgram) {
 	for len(p.waiters) > 0 {
-		w := p.waiters[0]
+		r := p.waiters[0]
 		p.waiters = p.waiters[1:]
-		if w.Wake(d) {
+		// Stale refs (readers that timed out and moved on) wake nothing
+		// and are simply discarded.
+		if r.Wake(d) {
 			return
 		}
 	}
@@ -104,12 +101,14 @@ func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
 		if !p.deadline.IsZero() {
 			w.WakeAfter(p.deadline.Sub(k.Now()), transport.ErrTimeout)
 		}
-		p.waiters = append(p.waiters, w)
+		p.waiters = append(p.waiters, w.Ref())
 		switch v := w.Wait().(type) {
 		case dgram:
 			n := copy(b, v.data)
 			return n, v.from, nil
 		case error:
+			// Our entry in p.waiters is now a stale ref; deliver and
+			// close discard it harmlessly.
 			return 0, transport.Addr{}, v
 		}
 	}
@@ -127,8 +126,8 @@ func (p *packetConn) Close() error {
 
 func (p *packetConn) close() {
 	p.closed = true
-	for _, w := range p.waiters {
-		w.Wake(transport.ErrClosed)
+	for _, r := range p.waiters {
+		r.Wake(transport.ErrClosed)
 	}
 	p.waiters = nil
 	p.queue = nil

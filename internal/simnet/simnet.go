@@ -71,6 +71,8 @@ type Network struct {
 	proc   ProcDelayFunc
 	silent bool // dead hosts blackhole instead of refusing
 
+	freeDlv *delivery // pooled scheduled messages (see delivery.go)
+
 	stats Stats
 }
 
@@ -232,12 +234,16 @@ func (h *Host) SetDown(down bool) {
 	h.conns = make(map[*conn]struct{})
 }
 
-func (h *Host) ephemeralPort() int {
-	for {
+// ephemeralPort returns a free port in [40000, 65000]. It scans the range at
+// most once: when every port is occupied it reports an error instead of
+// spinning forever.
+func (h *Host) ephemeralPort() (int, error) {
+	const lo, hi = 40000, 65000
+	for tries := 0; tries <= hi-lo; tries++ {
 		p := h.nextEphem
 		h.nextEphem++
-		if h.nextEphem > 65000 {
-			h.nextEphem = 40000
+		if h.nextEphem > hi {
+			h.nextEphem = lo
 		}
 		if _, ok := h.listeners[p]; ok {
 			continue
@@ -245,8 +251,9 @@ func (h *Host) ephemeralPort() int {
 		if _, ok := h.packets[p]; ok {
 			continue
 		}
-		return p
+		return p, nil
 	}
+	return 0, fmt.Errorf("simnet: %s: no free ephemeral ports in [%d, %d]", h.Host(), lo, hi)
 }
 
 // Listen implements transport.Node.
@@ -255,7 +262,11 @@ func (h *Host) Listen(port int) (transport.Listener, error) {
 		return nil, transport.ErrClosed
 	}
 	if port == 0 {
-		port = h.ephemeralPort()
+		p, err := h.ephemeralPort()
+		if err != nil {
+			return nil, err
+		}
+		port = p
 	}
 	if _, ok := h.listeners[port]; ok {
 		return nil, fmt.Errorf("simnet: %s port %d: address already in use", h.Host(), port)
@@ -271,7 +282,11 @@ func (h *Host) ListenPacket(port int) (transport.PacketConn, error) {
 		return nil, transport.ErrClosed
 	}
 	if port == 0 {
-		port = h.ephemeralPort()
+		p, err := h.ephemeralPort()
+		if err != nil {
+			return nil, err
+		}
+		port = p
 	}
 	if _, ok := h.packets[port]; ok {
 		return nil, fmt.Errorf("simnet: %s udp port %d: address already in use", h.Host(), port)
@@ -300,9 +315,17 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 		return nil, err
 	}
 	h.nw.stats.Dials++
-	local := transport.Addr{Host: h.Host(), Port: h.ephemeralPort()}
+	port, err := h.ephemeralPort()
+	if err != nil {
+		return nil, err
+	}
+	local := transport.Addr{Host: h.Host(), Port: port}
 
 	w := k.NewWaiter()
+	// The verdict events below may fire after the dialer has timed out and
+	// its (pooled) waiter been recycled; the generation-stamped ref makes
+	// those late wakes safe no-ops.
+	ref := w.Ref()
 	w.WakeAfter(timeout, transport.ErrTimeout)
 	fwd := h.nw.delay(h.id, remote.id)
 	rev := h.nw.delay(remote.id, h.id)
@@ -310,24 +333,24 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 
 	// SYN arrives at the remote after the forward delay; the verdict
 	// (connection or refusal) travels back after the reverse delay.
-	k.After(fwd, func() {
+	k.AfterFunc(fwd, func() {
 		if remote.down && h.nw.silent {
 			return // blackholed: the dialer's timeout fires
 		}
 		l, ok := remote.listeners[to.Port]
 		if !ok || remote.down {
 			h.nw.stats.RefusedDials++
-			k.After(rev, func() { w.Wake(transport.ErrRefused) })
+			k.AfterFunc(rev, func() { ref.Wake(transport.ErrRefused) })
 			return
 		}
 		cl, cr := newConnPair(h, local, remote, to)
 		l.deliver(cr)
-		k.After(rev, func() {
+		k.AfterFunc(rev, func() {
 			if h.down || h.gen != gen {
 				cl.reset()
 				return
 			}
-			if !w.Wake(cl) {
+			if !ref.Wake(cl) {
 				// Dialer already timed out; tear down the orphan.
 				cl.Close()
 			}

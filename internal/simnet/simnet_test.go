@@ -607,3 +607,116 @@ func TestProcDelayHook(t *testing.T) {
 		t.Fatalf("delivery at %s, want 250ms proc delay", at)
 	}
 }
+
+// TestEphemeralPortExhaustion occupies every ephemeral port and checks that
+// Listen, ListenPacket and Dial report an error instead of spinning forever.
+func TestEphemeralPortExhaustion(t *testing.T) {
+	k, nw := newTestNet(t, 2, Symmetric{RTT: time.Millisecond})
+	h := nw.Host(0)
+	k.Go(func() {
+		for p := 40000; p <= 65000; p++ {
+			if _, err := h.Listen(p); err != nil {
+				t.Errorf("listen %d: %v", p, err)
+				return
+			}
+		}
+		if _, err := h.Listen(0); err == nil {
+			t.Error("Listen(0) succeeded with all ephemeral ports occupied")
+		}
+		if _, err := h.ListenPacket(0); err == nil {
+			t.Error("ListenPacket(0) succeeded with all ephemeral ports occupied")
+		}
+		if _, err := h.Dial(transport.Addr{Host: "n1", Port: 80}, time.Second); err == nil {
+			t.Error("Dial succeeded with no free local port")
+		}
+	})
+	k.Run()
+}
+
+// TestDialVerdictAfterTimeout reproduces the pooled-waiter race: the dialer
+// times out (slow verdict), its waiter is recycled, and the late verdict
+// must tear the orphan connection down rather than wake anything.
+func TestDialVerdictAfterTimeout(t *testing.T) {
+	k, nw := newTestNet(t, 2, Symmetric{RTT: 10 * time.Second})
+	srv := nw.Host(1)
+	var accepted transport.Conn
+	k.Go(func() {
+		l, err := srv.Listen(80)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		c, err := l.Accept()
+		if err == nil {
+			accepted = c
+		}
+	})
+	dialErrs := make([]error, 0, 2)
+	k.Go(func() {
+		// Times out at 1 s; the verdict would land at 10 s.
+		_, err := nw.Host(0).Dial(transport.Addr{Host: "n1", Port: 80}, time.Second)
+		dialErrs = append(dialErrs, err)
+		// Immediately park a second waiter (recycles the first); the late
+		// verdict at t=10 s must not corrupt it.
+		_, err = nw.Host(0).Dial(transport.Addr{Host: "n1", Port: 81}, 30*time.Second)
+		dialErrs = append(dialErrs, err)
+	})
+	k.Run()
+	if len(dialErrs) != 2 || !errors.Is(dialErrs[0], transport.ErrTimeout) {
+		t.Fatalf("first dial: %v", dialErrs)
+	}
+	if !errors.Is(dialErrs[1], transport.ErrRefused) {
+		t.Fatalf("second dial: %v (late verdict corrupted a recycled waiter?)", dialErrs[1])
+	}
+	if accepted == nil {
+		t.Fatal("server never accepted the (orphaned) connection")
+	}
+	// The orphan is closed by the dialer's verdict handler: reads observe EOF.
+	k.Go(func() {
+		buf := make([]byte, 1)
+		if _, err := accepted.Read(buf); !errors.Is(err, io.EOF) && !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("orphan read: %v, want EOF/closed", err)
+		}
+	})
+	k.Run()
+}
+
+// TestPacketDeadlineWaiterRecycled: a ReadFrom deadline fires, the waiter is
+// recycled, and a later datagram delivery must not wake the stale entry.
+func TestPacketDeadlineWaiterRecycled(t *testing.T) {
+	k, nw := newTestNet(t, 2, Symmetric{RTT: 4 * time.Second})
+	var firstErr error
+	var got []byte
+	k.Go(func() {
+		pc, err := nw.Host(1).ListenPacket(9000)
+		if err != nil {
+			t.Errorf("listen packet: %v", err)
+			return
+		}
+		buf := make([]byte, 16)
+		pc.SetReadDeadline(k.Now().Add(time.Second)) //nolint:errcheck
+		_, _, firstErr = pc.ReadFrom(buf)            // times out at 1 s; dgram lands at 2 s
+		pc.SetReadDeadline(time.Time{})              //nolint:errcheck
+		n, _, err := pc.ReadFrom(buf)                // must receive the dgram normally
+		if err != nil {
+			t.Errorf("second read: %v", err)
+			return
+		}
+		got = append(got, buf[:n]...)
+	})
+	k.Go(func() {
+		pc, err := nw.Host(0).ListenPacket(9001)
+		if err != nil {
+			t.Errorf("sender socket: %v", err)
+			return
+		}
+		pc.WriteTo([]byte("hi"), transport.Addr{Host: "n1", Port: 9000}) //nolint:errcheck
+	})
+	k.Run()
+	if !errors.Is(firstErr, transport.ErrTimeout) {
+		t.Fatalf("first read: %v, want timeout", firstErr)
+	}
+	if string(got) != "hi" {
+		t.Fatalf("second read got %q", got)
+	}
+}
