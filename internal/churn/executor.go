@@ -2,6 +2,7 @@ package churn
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
@@ -35,10 +36,15 @@ type Executor struct {
 	ctl   NodeControl
 	trace Trace
 
+	// mu guards the replay state: under LiveRuntime the scheduled events
+	// fire from time.AfterFunc goroutines, concurrently with each other
+	// and with Alive/Counts/Stop callers.
+	mu      sync.Mutex
 	alive   map[int]bool
 	started int
 	stopped int
 	cancels []func()
+	halted  bool
 }
 
 // NewExecutor prepares (but does not start) a replay.
@@ -54,40 +60,74 @@ func (e *Executor) Run() {
 	for _, ev := range e.trace {
 		ev := ev
 		cancel := e.rt.After(ev.At, func() {
-			// Node control may block (protocol joins, socket teardown),
-			// so it runs as a task, never on the event loop itself.
+			e.mu.Lock()
+			if e.halted {
+				// Stop won the race with this in-flight fire.
+				e.mu.Unlock()
+				return
+			}
+			var run func()
 			switch ev.Action {
 			case Join:
 				if !e.alive[ev.Node] {
 					e.alive[ev.Node] = true
 					e.started++
-					e.rt.Go(func() { e.ctl.StartNode(ev.Node) })
+					run = func() { e.ctl.StartNode(ev.Node) }
 				}
 			case Leave:
 				if e.alive[ev.Node] {
 					delete(e.alive, ev.Node)
 					e.stopped++
-					e.rt.Go(func() { e.ctl.StopNode(ev.Node) })
+					run = func() { e.ctl.StopNode(ev.Node) }
 				}
 			}
+			e.mu.Unlock()
+			// Node control may block (protocol joins, socket teardown),
+			// so it runs as a task, never on the event loop itself.
+			if run != nil {
+				e.rt.Go(run)
+			}
 		})
-		e.cancels = append(e.cancels, cancel)
+		e.mu.Lock()
+		halted := e.halted
+		if !halted {
+			e.cancels = append(e.cancels, cancel)
+		}
+		e.mu.Unlock()
+		if halted {
+			cancel()
+			return
+		}
 	}
 }
 
-// Stop cancels all pending events (already-fired ones are unaffected).
+// Stop cancels all pending events and suppresses in-flight fires
+// (already-executed ones are unaffected). The executor cannot be reused
+// after Stop.
 func (e *Executor) Stop() {
-	for _, c := range e.cancels {
+	e.mu.Lock()
+	e.halted = true
+	cancels := e.cancels
+	e.cancels = nil
+	e.mu.Unlock()
+	for _, c := range cancels {
 		c()
 	}
-	e.cancels = nil
 }
 
 // Alive returns the currently live slot count.
-func (e *Executor) Alive() int { return len(e.alive) }
+func (e *Executor) Alive() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.alive)
+}
 
 // Counts reports how many starts/stops have been issued.
-func (e *Executor) Counts() (started, stopped int) { return e.started, e.stopped }
+func (e *Executor) Counts() (started, stopped int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.started, e.stopped
+}
 
 // MaintainPopulation returns a trace that holds a fixed-size population of
 // n nodes for the given duration while sessions last sessionMean on

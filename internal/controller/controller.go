@@ -4,11 +4,22 @@
 // responsiveness with superset probing, drives the job state machine
 // (idle → selected → running), manages the blacklist, and hosts the log
 // collector.
+//
+// The control plane is built to scale to thousands of daemons (the
+// paper's §5.2–5.3 evaluation): the daemon registry is sharded
+// (registry.go), session monitoring staggers its ping fan-out over
+// time-slices instead of bursting the whole population, and Submit
+// pipelines its REGISTER/LIST/START rounds with batched frame writes and
+// reply callbacks rather than one task per command. The wire protocol
+// (internal/ctlproto) and the superset semantics — first-Nodes-acks win,
+// stragglers are FREEd — are unchanged from the single-mutex design.
 package controller
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
@@ -29,7 +40,10 @@ type Config struct {
 	// UnseenAfter expires daemons that stop showing activity (the
 	// paper's long-term disconnection threshold, typically one hour).
 	UnseenAfter time.Duration
-	// PingEvery is the session keep-alive/monitoring period.
+	// PingEvery is the session keep-alive/monitoring period. Each daemon
+	// is pinged once per period; the fan-out is staggered over
+	// pingSlices time-slices so the load on the controller and the
+	// network is spread instead of bursting every period.
 	PingEvery time.Duration
 	// Blacklist is the initial set of forbidden address patterns; the
 	// controller's own host is always appended so applications cannot
@@ -97,9 +111,23 @@ type JobStatus struct {
 	StartedAt time.Time
 }
 
+// replyFn receives a daemon's answer to one command frame. It is invoked
+// exactly once — with the answer, or with an error if the daemon was
+// gone, the write failed, the connection dropped, or the reply deadline
+// expired — and runs on a controller task, so it must not block; spawn
+// via the runtime for I/O.
+type replyFn func(ans ctlproto.Msg, err error)
+
+// pendingReply is one in-flight command awaiting its answer.
+type pendingReply struct {
+	fn       replyFn
+	deadline time.Time
+}
+
 // daemonSession is the controller's view of one connected daemon.
 type daemonSession struct {
 	name  string
+	hash  uint32 // nameHash(name): shard (and thereby ping-slice) assignment
 	conn  transport.Conn
 	enc   *llenc.Writer
 	wlock *core.Lock
@@ -108,8 +136,16 @@ type daemonSession struct {
 	lastSeen time.Time
 	rtt      time.Duration // last measured responsiveness
 	nextSeq  uint64
-	pending  map[uint64]core.Waiter
+	pending  map[uint64]pendingReply
 	gone     bool
+}
+
+// drop removes a pending reply without invoking its callback (the caller
+// already has its answer, e.g. from its own timeout).
+func (d *daemonSession) drop(seq uint64) {
+	d.mu.Lock()
+	delete(d.pending, seq)
+	d.mu.Unlock()
 }
 
 // Controller is a running splayctl instance.
@@ -118,13 +154,18 @@ type Controller struct {
 	node transport.Node
 	cfg  Config
 
-	mu        sync.Mutex // guards daemons/jobs/blacklist under LiveRuntime
+	reg       *registry    // sharded daemon sessions
+	framesOut atomic.Int64 // command/answer frames written, for load reporting
+
+	mu        sync.Mutex // guards jobs/blacklist/stops under LiveRuntime
 	ln        transport.Listener
-	daemons   map[string]*daemonSession
 	jobs      map[string]*JobStatus
 	blacklist []string
 	jobSeq    int
 	stops     []func()
+
+	monMu    sync.Mutex
+	monSlice int
 }
 
 // New creates a controller on the given runtime and network stack.
@@ -144,11 +185,13 @@ func New(rt core.Runtime, node transport.Node, cfg Config) *Controller {
 	if cfg.PingEvery <= 0 {
 		cfg.PingEvery = 30 * time.Second
 	}
-	cfg.Blacklist = append(cfg.Blacklist, node.Host())
+	// Clone before appending: sharing the caller's backing array would
+	// let the append clobber elements the caller still owns.
+	cfg.Blacklist = append(append([]string(nil), cfg.Blacklist...), node.Host())
 	return &Controller{
 		rt: rt, node: node, cfg: cfg,
-		daemons: make(map[string]*daemonSession),
-		jobs:    make(map[string]*JobStatus),
+		reg:  newRegistry(),
+		jobs: make(map[string]*JobStatus),
 	}
 }
 
@@ -158,7 +201,9 @@ func (c *Controller) Start() error {
 	if err != nil {
 		return fmt.Errorf("controller: listen: %w", err)
 	}
+	c.mu.Lock()
 	c.ln = ln
+	c.mu.Unlock()
 	c.rt.Go(func() {
 		for {
 			conn, err := ln.Accept()
@@ -169,77 +214,93 @@ func (c *Controller) Start() error {
 		}
 	})
 	// The unseen process: expire daemons after long-term disconnection;
-	// the monitor ping doubles as the session activity signal.
-	stopMon := c.periodic(c.cfg.PingEvery, c.monitor)
+	// the monitor ping doubles as the session activity signal. Each tick
+	// serves one time-slice of the population, so every daemon is pinged
+	// once per PingEvery without a population-wide burst.
+	every := c.cfg.PingEvery / pingSlices
+	if every <= 0 {
+		every = time.Millisecond
+	}
+	stopMon := c.periodic(every, c.monitorTick)
+	c.mu.Lock()
 	c.stops = append(c.stops, stopMon)
+	c.mu.Unlock()
 	return nil
 }
 
-// periodic is a minimal runtime-periodic helper for controller loops.
+// periodic is a minimal runtime-periodic helper for controller loops. It
+// is safe under LiveRuntime: the stop flag and the re-armed timer are
+// guarded, so a stop() racing a tick can neither be missed by the next
+// re-arm nor leave a live timer behind.
 func (c *Controller) periodic(every time.Duration, fn func()) (stop func()) {
+	var mu sync.Mutex
 	stopped := false
-	var tick func()
 	var cancel func()
+	var tick func()
 	tick = func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			return
+		}
 		cancel = c.rt.After(every, func() {
+			mu.Lock()
 			if stopped {
+				mu.Unlock()
 				return
 			}
+			mu.Unlock()
 			c.rt.Go(fn)
 			tick()
 		})
 	}
 	tick()
 	return func() {
+		mu.Lock()
 		stopped = true
-		if cancel != nil {
-			cancel()
+		cc := cancel
+		mu.Unlock()
+		if cc != nil {
+			cc()
 		}
 	}
 }
 
 // Stop closes the controller.
 func (c *Controller) Stop() {
-	for _, stop := range c.stops {
+	c.mu.Lock()
+	stops := c.stops
+	c.stops = nil
+	ln := c.ln
+	c.mu.Unlock()
+	for _, stop := range stops {
 		stop()
 	}
-	if c.ln != nil {
-		c.ln.Close()
+	if ln != nil {
+		ln.Close()
 	}
-	for _, d := range c.daemons {
+	for _, d := range c.reg.snapshot() {
 		d.conn.Close()
 	}
 }
 
 // Daemons returns the connected daemon count.
-func (c *Controller) Daemons() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.daemons)
-}
+func (c *Controller) Daemons() int { return c.reg.count() }
 
-// snapshot copies the live daemon sessions.
-func (c *Controller) snapshot() []*daemonSession {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*daemonSession, 0, len(c.daemons))
-	for _, d := range c.daemons {
-		out = append(out, d)
-	}
-	return out
-}
+// FramesSent reports the total command frames the controller has written,
+// a direct measure of control-plane load (§5.3).
+func (c *Controller) FramesSent() int64 { return c.framesOut.Load() }
 
 // SetBlacklist replaces the blacklist and pushes the update to every
 // connected daemon (piggybacked in its own message here).
 func (c *Controller) SetBlacklist(patterns []string) {
 	c.mu.Lock()
-	c.blacklist = append(patterns, c.node.Host())
+	c.blacklist = append(append([]string(nil), patterns...), c.node.Host())
 	blk := append([]string(nil), c.blacklist...)
 	c.mu.Unlock()
-	for _, d := range c.snapshot() {
-		d := d
-		c.rt.Go(func() { c.send(d, &ctlproto.Msg{Type: ctlproto.TBlacklist, Hosts: blk}) }) //nolint:errcheck
-	}
+	c.fanout(c.reg.snapshot(), c.cfg.RegisterTimeout,
+		func(int) *ctlproto.Msg { return &ctlproto.Msg{Type: ctlproto.TBlacklist, Hosts: blk} },
+		func(int, *daemonSession, ctlproto.Msg, error) {})
 }
 
 // serveDaemon handles one daemon connection for its lifetime.
@@ -252,20 +313,20 @@ func (c *Controller) serveDaemon(conn transport.Conn) {
 	}
 	d := &daemonSession{
 		name:     hello.Name,
+		hash:     nameHash(hello.Name),
 		conn:     conn,
 		enc:      llenc.NewWriter(conn),
 		wlock:    core.NewLock(c.rt),
 		lastSeen: c.rt.Now(),
-		pending:  make(map[uint64]core.Waiter),
+		pending:  make(map[uint64]pendingReply),
 	}
-	c.mu.Lock()
-	if old, ok := c.daemons[hello.Name]; ok {
+	if old := c.reg.put(d); old != nil {
 		old.mu.Lock()
 		old.gone = true
 		old.mu.Unlock()
 		old.conn.Close()
 	}
-	c.daemons[hello.Name] = d
+	c.mu.Lock()
 	blk := append(append([]string(nil), c.cfg.Blacklist...), c.blacklist...)
 	c.mu.Unlock()
 	c.send(d, &ctlproto.Msg{Type: ctlproto.TWelcome, Hosts: blk}) //nolint:errcheck
@@ -277,41 +338,85 @@ func (c *Controller) serveDaemon(conn transport.Conn) {
 		}
 		d.mu.Lock()
 		d.lastSeen = c.rt.Now()
-		w, ok := d.pending[m.Seq]
+		p, ok := d.pending[m.Seq]
 		if ok {
 			delete(d.pending, m.Seq)
 		}
 		d.mu.Unlock()
 		if ok {
-			w.Wake(m)
+			var err error
+			if m.Type == ctlproto.TErr {
+				err = fmt.Errorf("controller: daemon %s: %s", d.name, m.Err)
+			}
+			p.fn(m, err)
 		}
 	}
 	d.mu.Lock()
 	d.gone = true
-	orphans := make([]core.Waiter, 0, len(d.pending))
-	for seq, w := range d.pending {
-		delete(d.pending, seq)
-		orphans = append(orphans, w)
-	}
+	orphans := popPending(d, nil)
 	d.mu.Unlock()
-	c.mu.Lock()
-	if c.daemons[hello.Name] == d {
-		delete(c.daemons, hello.Name)
+	c.reg.removeIf(d)
+	err := fmt.Errorf("controller: daemon %s disconnected", d.name)
+	for _, p := range orphans {
+		p.fn(ctlproto.Msg{}, err)
 	}
-	c.mu.Unlock()
-	for _, w := range orphans {
-		w.Wake(fmt.Errorf("controller: daemon %s disconnected", d.name))
+}
+
+// popPending removes and returns pending replies under d.mu, in seq order
+// so failure delivery stays deterministic in simulation. A nil filter
+// takes everything; otherwise only entries the filter accepts.
+func popPending(d *daemonSession, filter func(pendingReply) bool) []pendingReply {
+	if len(d.pending) == 0 {
+		return nil
 	}
+	seqs := make([]uint64, 0, len(d.pending))
+	for seq, p := range d.pending {
+		if filter == nil || filter(p) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]pendingReply, 0, len(seqs))
+	for _, seq := range seqs {
+		out = append(out, d.pending[seq])
+		delete(d.pending, seq)
+	}
+	return out
 }
 
 func (c *Controller) send(d *daemonSession, m *ctlproto.Msg) error {
 	d.wlock.Lock()
 	defer d.wlock.Unlock()
+	c.framesOut.Add(1)
 	return d.enc.Encode(m)
+}
+
+// enqueue assigns m a sequence number, installs fn as its reply callback
+// and writes the frame. On error fn is never invoked.
+func (c *Controller) enqueue(d *daemonSession, m *ctlproto.Msg, timeout time.Duration, fn replyFn) error {
+	d.mu.Lock()
+	if d.gone {
+		d.mu.Unlock()
+		return fmt.Errorf("controller: daemon %s gone", d.name)
+	}
+	d.nextSeq++
+	m.Seq = d.nextSeq
+	d.pending[m.Seq] = pendingReply{fn: fn, deadline: c.rt.Now().Add(timeout)}
+	d.mu.Unlock()
+	if err := c.send(d, m); err != nil {
+		d.drop(m.Seq)
+		return err
+	}
+	return nil
 }
 
 // call sends a command and waits for the daemon's answer.
 func (c *Controller) call(d *daemonSession, m *ctlproto.Msg, timeout time.Duration) (ctlproto.Msg, error) {
+	type callResult struct {
+		ans ctlproto.Msg
+		err error
+	}
+	w := c.rt.NewWaiter()
 	d.mu.Lock()
 	if d.gone {
 		d.mu.Unlock()
@@ -319,68 +424,119 @@ func (c *Controller) call(d *daemonSession, m *ctlproto.Msg, timeout time.Durati
 	}
 	d.nextSeq++
 	m.Seq = d.nextSeq
-	w := c.rt.NewWaiter()
 	w.WakeAfter(timeout, error(transport.ErrTimeout))
-	d.pending[m.Seq] = w
+	d.pending[m.Seq] = pendingReply{
+		fn:       func(ans ctlproto.Msg, err error) { w.Wake(callResult{ans, err}) },
+		deadline: c.rt.Now().Add(timeout),
+	}
 	d.mu.Unlock()
 	if err := c.send(d, m); err != nil {
-		d.mu.Lock()
-		delete(d.pending, m.Seq)
-		d.mu.Unlock()
+		d.drop(m.Seq)
 		return ctlproto.Msg{}, err
 	}
 	switch v := w.Wait().(type) {
-	case ctlproto.Msg:
-		if v.Type == ctlproto.TErr {
-			return v, fmt.Errorf("controller: daemon %s: %s", d.name, v.Err)
-		}
-		return v, nil
+	case callResult:
+		return v.ans, v.err
 	case error:
-		d.mu.Lock()
-		delete(d.pending, m.Seq)
-		d.mu.Unlock()
+		// Timeout: remove the entry ourselves so the callback can never
+		// wake a recycled waiter.
+		d.drop(m.Seq)
 		return ctlproto.Msg{}, v
 	}
 	return ctlproto.Msg{}, fmt.Errorf("controller: internal wake type")
 }
 
-// monitor pings every daemon (recording responsiveness) and expires the
-// unseen.
-func (c *Controller) monitor() {
+// writeBatch is how many command frames one writer task ships: the batch
+// pipeline's fan-out granularity.
+const writeBatch = 128
+
+// fanout ships one command frame to every session in ds. Frames are
+// written in batches of writeBatch per writer task — not one task per
+// command — and fn is installed as each frame's reply callback; it is
+// invoked exactly once per session (answer, or error). makeMsg runs in
+// the writer task immediately before its frame is written.
+func (c *Controller) fanout(ds []*daemonSession, timeout time.Duration,
+	makeMsg func(i int) *ctlproto.Msg,
+	fn func(i int, d *daemonSession, ans ctlproto.Msg, err error)) {
+	for lo := 0; lo < len(ds); lo += writeBatch {
+		hi := lo + writeBatch
+		if hi > len(ds) {
+			hi = len(ds)
+		}
+		batch := ds[lo:hi]
+		base := lo
+		c.rt.Go(func() {
+			for j, d := range batch {
+				i := base + j
+				d := d
+				if err := c.enqueue(d, makeMsg(i), timeout, func(ans ctlproto.Msg, err error) {
+					fn(i, d, ans, err)
+				}); err != nil {
+					fn(i, d, ctlproto.Msg{}, err)
+				}
+			}
+		})
+	}
+}
+
+// monitorTick serves one time-slice of the population: it expires unseen
+// daemons, sweeps timed-out pending replies, and pings the slice's live
+// daemons in a batch (recording responsiveness when answers arrive).
+func (c *Controller) monitorTick() {
+	c.monMu.Lock()
+	slice := c.monSlice
+	c.monSlice = (c.monSlice + 1) % pingSlices
+	c.monMu.Unlock()
+
 	now := c.rt.Now()
-	for _, d := range c.snapshot() {
+	due := c.reg.slice(slice)
+	live := due[:0]
+	for _, d := range due {
 		d.mu.Lock()
 		stale := now.Sub(d.lastSeen) > c.cfg.UnseenAfter
 		if stale {
 			d.gone = true
 		}
+		expired := popPending(d, func(p pendingReply) bool { return now.After(p.deadline) })
 		d.mu.Unlock()
+		for _, p := range expired {
+			p.fn(ctlproto.Msg{}, transport.ErrTimeout)
+		}
 		if stale {
 			// Long-term disconnection: reset the daemon's state.
 			d.conn.Close()
-			c.mu.Lock()
-			if c.daemons[d.name] == d {
-				delete(c.daemons, d.name)
-			}
-			c.mu.Unlock()
+			c.reg.removeIf(d)
 			continue
 		}
-		d := d
-		c.rt.Go(func() {
-			start := c.rt.Now()
-			if _, err := c.call(d, &ctlproto.Msg{Type: ctlproto.TPing}, c.cfg.PingEvery); err == nil {
-				d.mu.Lock()
-				d.rtt = c.rt.Now().Sub(start)
-				d.mu.Unlock()
-			}
-		})
+		live = append(live, d)
 	}
+
+	sent := make([]time.Time, len(live))
+	c.fanout(live, c.cfg.PingEvery,
+		func(i int) *ctlproto.Msg {
+			sent[i] = c.rt.Now()
+			return &ctlproto.Msg{Type: ctlproto.TPing}
+		},
+		func(i int, d *daemonSession, _ ctlproto.Msg, err error) {
+			if err != nil {
+				return
+			}
+			rtt := c.rt.Now().Sub(sent[i])
+			d.mu.Lock()
+			d.rtt = rtt
+			d.mu.Unlock()
+		})
 }
 
 // Submit deploys a job: probe a superset of daemons with REGISTER, keep
 // the fastest responders, ship the bootstrap LIST and START execution,
 // and FREE the supernumeraries (§3.1). It blocks until the job runs or
 // fails and returns its status.
+//
+// The three rounds are pipelined: each round's frames are batch-written
+// to the whole target set and the answers converge on a collector, so a
+// round costs one round-trip to the slowest relevant daemon instead of
+// one task (REGISTER) or one serialized call (LIST/START) per daemon.
 func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 	if spec.Nodes <= 0 {
 		return nil, fmt.Errorf("controller: job needs nodes")
@@ -396,7 +552,7 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 	c.mu.Unlock()
 
 	// Candidate pool: every live daemon, capped at superset × request.
-	candidates := c.snapshot()
+	candidates := c.reg.snapshot()
 	if len(candidates) < spec.Nodes {
 		job.State = JobFailed
 		job.Err = fmt.Sprintf("need %d daemons, have %d", spec.Nodes, len(candidates))
@@ -425,10 +581,9 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 	done := c.rt.NewWaiter()
 	done.WakeAfter(c.cfg.RegisterTimeout, nil)
 	desc := &ctlproto.Job{ID: job.ID, App: spec.App, Params: spec.Params}
-	for _, d := range candidates {
-		d := d
-		c.rt.Go(func() {
-			ans, err := c.call(d, &ctlproto.Msg{Type: ctlproto.TRegister, Job: desc}, c.cfg.RegisterTimeout)
+	c.fanout(candidates, c.cfg.RegisterTimeout,
+		func(int) *ctlproto.Msg { return &ctlproto.Msg{Type: ctlproto.TRegister, Job: desc} },
+		func(_ int, d *daemonSession, ans ctlproto.Msg, err error) {
 			mu.Lock()
 			answered++
 			late := closed
@@ -439,7 +594,9 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 			mu.Unlock()
 			if late && err == nil {
 				// Selection already happened: release the straggler.
-				c.call(d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+				c.rt.Go(func() {
+					c.call(d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+				})
 				return
 			}
 			// Never wake after selection closed: the (pooled) waiter may
@@ -448,7 +605,6 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 				done.Wake(nil)
 			}
 		})
-	}
 	done.Wait()
 	mu.Lock()
 	closed = true
@@ -461,20 +617,17 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 		}
 	}
 	mu.Unlock()
-	// Supernumerary daemons are released immediately.
-	for _, r := range spare {
-		r := r
-		c.rt.Go(func() {
-			c.call(r.d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
-		})
-	}
-	if len(selected) < spec.Nodes {
-		for _, r := range selected {
-			r := r
-			c.rt.Go(func() {
-				c.call(r.d, &ctlproto.Msg{Type: ctlproto.TFree, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
-			})
+	toSessions := func(rs []regResult) []*daemonSession {
+		ds := make([]*daemonSession, len(rs))
+		for i, r := range rs {
+			ds[i] = r.d
 		}
+		return ds
+	}
+	// Supernumerary daemons are released immediately.
+	c.freeAll(toSessions(spare), desc)
+	if len(selected) < spec.Nodes {
+		c.freeAll(toSessions(selected), desc)
 		job.State = JobFailed
 		job.Err = fmt.Sprintf("only %d/%d daemons accepted", len(selected), spec.Nodes)
 		return job, fmt.Errorf("controller: %s", job.Err)
@@ -482,35 +635,96 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 	job.State = JobSelected
 
 	// Bootstrap list: the first selected node is the rendez-vous.
-	var addrs []transport.Addr
-	for _, r := range selected {
-		addrs = append(addrs, transport.Addr{Host: r.d.name, Port: r.port})
+	addrs := make([]transport.Addr, len(selected))
+	sessions := make([]*daemonSession, len(selected))
+	for i, r := range selected {
+		addrs[i] = transport.Addr{Host: r.d.name, Port: r.port}
+		sessions[i] = r.d
 	}
 	bootstrap := addrs[:1]
 	if spec.FullList {
 		bootstrap = addrs
 	}
-	for i, r := range selected {
+	if err := c.phase(sessions, func(i int) *ctlproto.Msg {
 		listJob := *desc
 		listJob.Position = i + 1
 		listJob.Nodes = bootstrap
-		if _, err := c.call(r.d, &ctlproto.Msg{Type: ctlproto.TList, Job: &listJob}, c.cfg.RegisterTimeout); err != nil {
-			job.State = JobFailed
-			job.Err = err.Error()
-			return job, err
-		}
+		return &ctlproto.Msg{Type: ctlproto.TList, Job: &listJob}
+	}); err != nil {
+		job.State = JobFailed
+		job.Err = err.Error()
+		return job, err
 	}
-	for _, r := range selected {
-		if _, err := c.call(r.d, &ctlproto.Msg{Type: ctlproto.TStart, Job: desc}, c.cfg.RegisterTimeout); err != nil {
-			job.State = JobFailed
-			job.Err = err.Error()
-			return job, err
-		}
+	if err := c.phase(sessions, func(int) *ctlproto.Msg {
+		return &ctlproto.Msg{Type: ctlproto.TStart, Job: desc}
+	}); err != nil {
+		job.State = JobFailed
+		job.Err = err.Error()
+		return job, err
 	}
 	job.State = JobRunning
 	job.Deployed = addrs
 	job.StartedAt = c.rt.Now()
 	return job, nil
+}
+
+// phase ships one command to every session and waits until all acked, one
+// failed, or RegisterTimeout expired.
+func (c *Controller) phase(ds []*daemonSession, makeMsg func(i int) *ctlproto.Msg) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	remaining := len(ds)
+	var firstErr error
+	closed := false
+	w := c.rt.NewWaiter()
+	w.WakeAfter(c.cfg.RegisterTimeout, error(transport.ErrTimeout))
+	c.fanout(ds, c.cfg.RegisterTimeout, makeMsg,
+		func(_ int, _ *daemonSession, _ ctlproto.Msg, err error) {
+			mu.Lock()
+			if closed {
+				mu.Unlock()
+				return
+			}
+			remaining--
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			finished := remaining == 0 || firstErr != nil
+			if finished {
+				closed = true
+			}
+			mu.Unlock()
+			// closed is set before the wake, so no later callback can
+			// touch the (pooled) waiter once Wait has returned.
+			if finished {
+				w.Wake(nil)
+			}
+		})
+	res := w.Wait()
+	mu.Lock()
+	closed = true
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if terr, ok := res.(error); ok {
+		return terr
+	}
+	return nil
+}
+
+// freeAll releases reservations fire-and-forget: answers are discarded
+// and unanswered FREEs are swept by the monitor.
+func (c *Controller) freeAll(ds []*daemonSession, desc *ctlproto.Job) {
+	if len(ds) == 0 {
+		return
+	}
+	c.fanout(ds, c.cfg.RegisterTimeout,
+		func(int) *ctlproto.Msg { return &ctlproto.Msg{Type: ctlproto.TFree, Job: desc} },
+		func(int, *daemonSession, ctlproto.Msg, error) {})
 }
 
 // StopJob terminates a running job everywhere.
@@ -522,14 +736,17 @@ func (c *Controller) StopJob(id string) error {
 		return fmt.Errorf("controller: unknown job %s", id)
 	}
 	desc := &ctlproto.Job{ID: id}
+	var ds []*daemonSession
 	for _, addr := range job.Deployed {
-		c.mu.Lock()
-		d, ok := c.daemons[addr.Host]
-		c.mu.Unlock()
-		if ok {
-			c.call(d, &ctlproto.Msg{Type: ctlproto.TStop, Job: desc}, c.cfg.RegisterTimeout) //nolint:errcheck
+		if d, ok := c.reg.get(addr.Host); ok {
+			ds = append(ds, d)
 		}
 	}
+	// Best-effort: every daemon gets the STOP frame regardless of
+	// individual failures, mirroring the sequential design's semantics.
+	c.phase(ds, func(int) *ctlproto.Msg { //nolint:errcheck
+		return &ctlproto.Msg{Type: ctlproto.TStop, Job: desc}
+	})
 	job.State = JobDone
 	return nil
 }
@@ -542,24 +759,30 @@ func (c *Controller) Job(id string) (*JobStatus, bool) {
 	return j, ok
 }
 
+// sortByRTT orders sessions by measured responsiveness, fastest first;
+// unmeasured daemons (rtt 0) sort last. The sort is stable, so ties keep
+// the registry's deterministic snapshot order. RTTs are read once up
+// front: a comparison-time read would take two locks per comparison,
+// which dominated selection at thousands of daemons.
 func sortByRTT(ds []*daemonSession) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && less(ds[j], ds[j-1]); j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
+	type byRTT struct {
+		d   *daemonSession
+		rtt time.Duration
+	}
+	tmp := make([]byRTT, len(ds))
+	for i, d := range ds {
+		d.mu.Lock()
+		tmp[i] = byRTT{d: d, rtt: d.rtt}
+		d.mu.Unlock()
+	}
+	sort.SliceStable(tmp, func(i, j int) bool {
+		ra, rb := tmp[i].rtt, tmp[j].rtt
+		if (ra == 0) != (rb == 0) {
+			return rb == 0
 		}
+		return ra < rb
+	})
+	for i := range tmp {
+		ds[i] = tmp[i].d
 	}
-}
-
-func less(a, b *daemonSession) bool {
-	a.mu.Lock()
-	ra := a.rtt
-	a.mu.Unlock()
-	b.mu.Lock()
-	rb := b.rtt
-	b.mu.Unlock()
-	// Unmeasured daemons (rtt 0) sort last.
-	if (ra == 0) != (rb == 0) {
-		return rb == 0
-	}
-	return ra < rb
 }

@@ -1,0 +1,143 @@
+package controller
+
+import "sync"
+
+// The daemon registry is sharded by a hash of the daemon name so that
+// sessions (connect/disconnect), monitoring and selection no longer
+// serialize on a single controller-wide mutex: with thousands of daemons
+// the registry is touched on every frame, and one lock was the scaling
+// bottleneck the paper's §5.2/§5.3 controller-load evaluation exposes.
+//
+// Each shard keeps both a map (lookup by name) and an insertion-ordered
+// slice. Snapshots concatenate the shards in index order, so iteration
+// order is a deterministic function of connection order — a requirement
+// for bit-for-bit reproducible simulations (see DESIGN.md).
+const (
+	numShards = 16 // power of two; shard = hash & (numShards-1)
+
+	// pingSlices staggers session monitoring: each monitor tick serves
+	// one slice, so a full PingEvery period spreads the ping fan-out over
+	// pingSlices time-slices instead of bursting the whole population. A
+	// slice is a contiguous group of shards (shardsPerSlice each), so a
+	// tick touches only its own shards' locks and lists — O(n/pingSlices)
+	// per tick, not a full-population scan.
+	pingSlices     = 8
+	shardsPerSlice = numShards / pingSlices
+)
+
+// nameHash is FNV-1a over the daemon name.
+func nameHash(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return h
+}
+
+type regShard struct {
+	mu      sync.Mutex
+	daemons map[string]*daemonSession
+	order   []*daemonSession // insertion order of the live sessions
+}
+
+type registry struct {
+	shards [numShards]regShard
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].daemons = make(map[string]*daemonSession)
+	}
+	return r
+}
+
+func (r *registry) shardFor(hash uint32) *regShard {
+	return &r.shards[hash&(numShards-1)]
+}
+
+// put installs d under its name and returns the session it displaced, if
+// any. The displaced session is already removed from the registry.
+func (r *registry) put(d *daemonSession) (old *daemonSession) {
+	s := r.shardFor(d.hash)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old = s.daemons[d.name]
+	if old != nil {
+		s.dropLocked(old)
+	}
+	s.daemons[d.name] = d
+	s.order = append(s.order, d)
+	return old
+}
+
+// get looks a session up by name.
+func (r *registry) get(name string) (*daemonSession, bool) {
+	s := r.shardFor(nameHash(name))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.daemons[name]
+	return d, ok
+}
+
+// removeIf drops the session registered under name only if it is still d
+// (a reconnect may have replaced it).
+func (r *registry) removeIf(d *daemonSession) bool {
+	s := r.shardFor(d.hash)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.daemons[d.name] != d {
+		return false
+	}
+	s.dropLocked(d)
+	return true
+}
+
+func (s *regShard) dropLocked(d *daemonSession) {
+	delete(s.daemons, d.name)
+	for i, o := range s.order {
+		if o == d {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// count returns the live session count.
+func (r *registry) count() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.daemons)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// snapshot returns every live session, shards in index order and insertion
+// order within a shard: deterministic for a deterministic connect order.
+func (r *registry) snapshot() []*daemonSession {
+	out := make([]*daemonSession, 0, r.count())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.order...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// slice returns the sessions assigned to monitor time-slice n: the
+// sessions of shards [n·shardsPerSlice, (n+1)·shardsPerSlice).
+func (r *registry) slice(n int) []*daemonSession {
+	var out []*daemonSession
+	for i := n * shardsPerSlice; i < (n+1)*shardsPerSlice; i++ {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out = append(out, s.order...)
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,473 @@
+package ctlproto
+
+import (
+	"strconv"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Fast-path JSON codec for Msg, the control plane's only frame type.
+// Profiling the controller at thousands of daemons shows reflection-based
+// encoding/json dominating CPU on both sides of the session (REGISTER
+// fan-out, ping monitoring), so Msg implements llenc's FastMarshaler and
+// FastUnmarshaler. The encoding is byte-for-byte identical to
+// encoding/json's output for this struct — field order, omitempty rules,
+// HTML escaping — which TestFastCodecMatchesEncodingJSON checks
+// differentially; anything the fast path cannot reproduce exactly
+// (strings needing escapes, non-ASCII, raw Params payloads) reports
+// false and the caller falls back to encoding/json, so the wire format
+// never diverges.
+
+// jsonSafe reports whether encoding/json would emit s as a plain quoted
+// string: printable ASCII with no characters that JSON or the default
+// HTML escaping would rewrite.
+func jsonSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendJSON implements llenc.FastMarshaler. On success the appended
+// bytes equal json.Marshal(m); on false buf is returned unchanged.
+func (m *Msg) AppendJSON(buf []byte) ([]byte, bool) {
+	if !jsonSafe(m.Type) || !jsonSafe(m.Name) || !jsonSafe(m.Key) || !jsonSafe(m.Err) {
+		return buf, false
+	}
+	for _, h := range m.Hosts {
+		if !jsonSafe(h) {
+			return buf, false
+		}
+	}
+	if j := m.Job; j != nil {
+		if len(j.Params) > 0 || !jsonSafe(j.ID) || !jsonSafe(j.App) {
+			return buf, false
+		}
+		for _, a := range j.Nodes {
+			if !jsonSafe(a.Host) {
+				return buf, false
+			}
+		}
+	}
+	b := append(buf, `{"seq":`...)
+	b = strconv.AppendUint(b, m.Seq, 10)
+	b = append(b, `,"type":"`...)
+	b = append(b, m.Type...)
+	b = append(b, '"')
+	if m.Name != "" {
+		b = appendStrField(b, `,"name":"`, m.Name)
+	}
+	if m.Key != "" {
+		b = appendStrField(b, `,"key":"`, m.Key)
+	}
+	if m.PortLow != 0 {
+		b = appendIntField(b, `,"port_low":`, m.PortLow)
+	}
+	if m.PortHigh != 0 {
+		b = appendIntField(b, `,"port_high":`, m.PortHigh)
+	}
+	if j := m.Job; j != nil {
+		b = append(b, `,"job":{"id":"`...)
+		b = append(b, j.ID...)
+		b = append(b, `","app":"`...)
+		b = append(b, j.App...)
+		b = append(b, '"')
+		if j.Position != 0 {
+			b = appendIntField(b, `,"position":`, j.Position)
+		}
+		if len(j.Nodes) > 0 {
+			b = append(b, `,"nodes":[`...)
+			for i, a := range j.Nodes {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, `{"host":"`...)
+				b = append(b, a.Host...)
+				b = append(b, `","port":`...)
+				b = strconv.AppendInt(b, int64(a.Port), 10)
+				b = append(b, '}')
+			}
+			b = append(b, ']')
+		}
+		b = append(b, '}')
+	}
+	if len(m.Hosts) > 0 {
+		b = append(b, `,"hosts":[`...)
+		for i, h := range m.Hosts {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '"')
+			b = append(b, h...)
+			b = append(b, '"')
+		}
+		b = append(b, ']')
+	}
+	if m.Port != 0 {
+		b = appendIntField(b, `,"port":`, m.Port)
+	}
+	if m.Err != "" {
+		b = appendStrField(b, `,"err":"`, m.Err)
+	}
+	b = append(b, '}')
+	return b, true
+}
+
+func appendStrField(b []byte, prefix, s string) []byte {
+	b = append(b, prefix...)
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+func appendIntField(b []byte, prefix string, v int) []byte {
+	b = append(b, prefix...)
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+// ParseJSON implements llenc.FastUnmarshaler: a non-recursive parser for
+// the exact shape the fast encoder (and encoding/json on this struct)
+// produces. It reports false — leaving m untouched — on anything it does
+// not handle: escape sequences, unknown keys, null, floats, or raw
+// Params payloads. The caller then retries with encoding/json.
+func (m *Msg) ParseJSON(data []byte) bool {
+	p := parser{data: data}
+	var out Msg
+	if !p.parseMsg(&out) {
+		return false
+	}
+	p.skipWS()
+	if p.i != len(p.data) {
+		return false
+	}
+	*m = out
+	return true
+}
+
+type parser struct {
+	data []byte
+	i    int
+}
+
+func (p *parser) skipWS() {
+	for p.i < len(p.data) {
+		switch p.data[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// consume advances past c if it is the next byte.
+func (p *parser) consume(c byte) bool {
+	if p.i < len(p.data) && p.data[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// rawStr parses a quoted string with no escapes, returning the raw bytes
+// between the quotes (non-ASCII passes through verbatim).
+func (p *parser) rawStr() ([]byte, bool) {
+	if !p.consume('"') {
+		return nil, false
+	}
+	start := p.i
+	for p.i < len(p.data) {
+		c := p.data[p.i]
+		if c == '"' {
+			s := p.data[start:p.i]
+			p.i++
+			return s, true
+		}
+		if c == '\\' || c < 0x20 {
+			return nil, false
+		}
+		p.i++
+	}
+	return nil, false
+}
+
+func (p *parser) str() (string, bool) {
+	b, ok := p.rawStr()
+	return string(b), ok
+}
+
+// internType avoids a string allocation for the protocol's fixed command
+// and answer types (the compiler performs the switch without converting).
+func internType(b []byte) string {
+	switch string(b) {
+	case THello:
+		return THello
+	case TWelcome:
+		return TWelcome
+	case TRegister:
+		return TRegister
+	case TList:
+		return TList
+	case TStart:
+		return TStart
+	case TStop:
+		return TStop
+	case TFree:
+		return TFree
+	case TPing:
+		return TPing
+	case TAck:
+		return TAck
+	case TErr:
+		return TErr
+	case TBlacklist:
+		return TBlacklist
+	}
+	return string(b)
+}
+
+func (p *parser) uint() (uint64, bool) {
+	start := p.i
+	var v uint64
+	for p.i < len(p.data) {
+		c := p.data[p.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := uint64(c - '0')
+		// Exact overflow check: encoding/json rejects out-of-range
+		// numbers, so wrapping here would decode a frame it refuses.
+		const cutoff = (1<<64 - 1) / 10
+		if v > cutoff || (v == cutoff && d > (1<<64-1)%10) {
+			return 0, false
+		}
+		v = v*10 + d
+		p.i++
+	}
+	if p.i == start {
+		return 0, false
+	}
+	// "00"/"01" are invalid JSON numbers; decline rather than guess.
+	if p.data[start] == '0' && p.i-start > 1 {
+		return 0, false
+	}
+	// Trailing float/exponent syntax goes to the fallback.
+	if p.i < len(p.data) {
+		switch p.data[p.i] {
+		case '.', 'e', 'E':
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func (p *parser) int() (int, bool) {
+	neg := p.consume('-')
+	v, ok := p.uint()
+	if !ok || v > 1<<62 {
+		return 0, false
+	}
+	if neg {
+		return int(-int64(v)), true
+	}
+	return int(v), true
+}
+
+func (p *parser) parseMsg(out *Msg) bool {
+	p.skipWS()
+	if !p.consume('{') {
+		return false
+	}
+	p.skipWS()
+	if p.consume('}') {
+		return true
+	}
+	for {
+		p.skipWS()
+		key, ok := p.rawStr()
+		if !ok {
+			return false
+		}
+		p.skipWS()
+		if !p.consume(':') {
+			return false
+		}
+		p.skipWS()
+		switch string(key) {
+		case "seq":
+			out.Seq, ok = p.uint()
+		case "type":
+			var b []byte
+			b, ok = p.rawStr()
+			out.Type = internType(b)
+		case "name":
+			out.Name, ok = p.str()
+		case "key":
+			out.Key, ok = p.str()
+		case "port_low":
+			out.PortLow, ok = p.int()
+		case "port_high":
+			out.PortHigh, ok = p.int()
+		case "job":
+			out.Job = &Job{}
+			ok = p.parseJob(out.Job)
+		case "hosts":
+			out.Hosts, ok = p.parseStrings()
+		case "port":
+			out.Port, ok = p.int()
+		case "err":
+			out.Err, ok = p.str()
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		return p.consume('}')
+	}
+}
+
+func (p *parser) parseJob(out *Job) bool {
+	if !p.consume('{') {
+		return false
+	}
+	p.skipWS()
+	if p.consume('}') {
+		return true
+	}
+	for {
+		p.skipWS()
+		key, ok := p.rawStr()
+		if !ok {
+			return false
+		}
+		p.skipWS()
+		if !p.consume(':') {
+			return false
+		}
+		p.skipWS()
+		switch string(key) {
+		case "id":
+			out.ID, ok = p.str()
+		case "app":
+			out.App, ok = p.str()
+		case "position":
+			out.Position, ok = p.int()
+		case "nodes":
+			ok = p.parseAddrs(&out.Nodes)
+		default:
+			// Including "params": raw payloads keep encoding/json's exact
+			// semantics via the fallback.
+			return false
+		}
+		if !ok {
+			return false
+		}
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		return p.consume('}')
+	}
+}
+
+func (p *parser) parseStrings() ([]string, bool) {
+	if !p.consume('[') {
+		return nil, false
+	}
+	p.skipWS()
+	if p.consume(']') {
+		return []string{}, true
+	}
+	var out []string
+	for {
+		p.skipWS()
+		s, ok := p.str()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, s)
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+func (p *parser) parseAddrs(out *[]transport.Addr) bool {
+	if !p.consume('[') {
+		return false
+	}
+	p.skipWS()
+	if p.consume(']') {
+		*out = []transport.Addr{}
+		return true
+	}
+	var addrs []transport.Addr
+	for {
+		p.skipWS()
+		a, ok := p.parseAddr()
+		if !ok {
+			return false
+		}
+		addrs = append(addrs, a)
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		if p.consume(']') {
+			*out = addrs
+			return true
+		}
+		return false
+	}
+}
+
+func (p *parser) parseAddr() (transport.Addr, bool) {
+	var a transport.Addr
+	if !p.consume('{') {
+		return a, false
+	}
+	p.skipWS()
+	if p.consume('}') {
+		return a, true
+	}
+	for {
+		p.skipWS()
+		key, ok := p.rawStr()
+		if !ok {
+			return a, false
+		}
+		p.skipWS()
+		if !p.consume(':') {
+			return a, false
+		}
+		p.skipWS()
+		switch string(key) {
+		case "host":
+			a.Host, ok = p.str()
+		case "port":
+			a.Port, ok = p.int()
+		default:
+			return a, false
+		}
+		if !ok {
+			return a, false
+		}
+		p.skipWS()
+		if p.consume(',') {
+			continue
+		}
+		return a, p.consume('}')
+	}
+}

@@ -9,6 +9,7 @@ package daemon
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
@@ -44,10 +45,11 @@ func DefaultConfig(name string) Config {
 
 // runningJob is one instantiated application.
 type runningJob struct {
-	job  *ctlproto.Job
-	port int
-	inst *core.Instance
-	sb   *sandbox.Node
+	job      *ctlproto.Job
+	port     int
+	inst     *core.Instance
+	sb       *sandbox.Node
+	starting bool // START in progress (instantiation happens outside the lock)
 }
 
 // Daemon is a running splayd.
@@ -58,6 +60,10 @@ type Daemon struct {
 	registry *core.Registry
 	log      core.Logger
 
+	// mu guards the session state: under LiveRuntime every controller
+	// command is handled on its own goroutine, so jobs, the port
+	// allocator, the blacklist and the connection flag are all shared.
+	mu        sync.Mutex
 	conn      transport.Conn
 	blacklist []string
 	nextPort  int
@@ -84,10 +90,18 @@ func New(rt core.Runtime, node transport.Node, registry *core.Registry, cfg Conf
 }
 
 // Connected reports whether the controller session is up.
-func (d *Daemon) Connected() bool { return d.connected }
+func (d *Daemon) Connected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.connected
+}
 
 // Running returns the number of application instances currently running.
-func (d *Daemon) Running() int { return len(d.jobs) }
+func (d *Daemon) Running() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.jobs)
+}
 
 // Connect dials the controller, introduces itself, and serves commands
 // until the connection drops.
@@ -96,7 +110,9 @@ func (d *Daemon) Connect(controller transport.Addr) error {
 	if err != nil {
 		return fmt.Errorf("daemon %s: connect: %w", d.cfg.Name, err)
 	}
+	d.mu.Lock()
 	d.conn = conn
+	d.mu.Unlock()
 	enc := llenc.NewWriter(conn)
 	dec := llenc.NewReader(conn)
 	hello := &ctlproto.Msg{
@@ -110,12 +126,18 @@ func (d *Daemon) Connect(controller transport.Addr) error {
 	if err := dec.Decode(&welcome); err != nil || welcome.Type != ctlproto.TWelcome {
 		return fmt.Errorf("daemon %s: no welcome (%v)", d.cfg.Name, err)
 	}
+	d.mu.Lock()
 	d.blacklist = welcome.Hosts
 	d.connected = true
+	d.mu.Unlock()
 	wlock := core.NewLock(d.rt)
 
 	d.rt.Go(func() {
-		defer func() { d.connected = false }()
+		defer func() {
+			d.mu.Lock()
+			d.connected = false
+			d.mu.Unlock()
+		}()
 		for {
 			var m ctlproto.Msg
 			if err := dec.Decode(&m); err != nil {
@@ -136,10 +158,17 @@ func (d *Daemon) Connect(controller transport.Addr) error {
 
 // Close drops the controller connection and kills all instances.
 func (d *Daemon) Close() {
-	if d.conn != nil {
-		d.conn.Close()
-	}
+	d.mu.Lock()
+	conn := d.conn
+	ids := make([]string, 0, len(d.jobs))
 	for id := range d.jobs {
+		ids = append(ids, id)
+	}
+	d.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, id := range ids {
 		d.stopJob(id)
 	}
 }
@@ -149,7 +178,9 @@ func (d *Daemon) handle(m *ctlproto.Msg) *ctlproto.Msg {
 	case ctlproto.TPing:
 		return &ctlproto.Msg{Type: ctlproto.TAck}
 	case ctlproto.TBlacklist:
+		d.mu.Lock()
 		d.blacklist = m.Hosts
+		d.mu.Unlock()
 		return &ctlproto.Msg{Type: ctlproto.TAck}
 	case ctlproto.TRegister:
 		return d.register(m.Job)
@@ -171,11 +202,14 @@ func (d *Daemon) register(job *ctlproto.Job) *ctlproto.Msg {
 	if job == nil {
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "no job"}
 	}
-	if _, ok := d.jobs[job.ID]; ok {
-		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already registered"}
-	}
+	// Validate the app outside the lock: constructors are caller code.
 	if _, err := d.registry.New(job.App, nil); err != nil {
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: err.Error()}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.jobs[job.ID]; ok {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already registered"}
 	}
 	port := d.nextPort
 	d.nextPort++
@@ -188,6 +222,8 @@ func (d *Daemon) register(job *ctlproto.Job) *ctlproto.Msg {
 
 // list installs the bootstrap information.
 func (d *Daemon) list(job *ctlproto.Job) *ctlproto.Msg {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	rj, ok := d.jobs[job.ID]
 	if !ok {
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "not registered"}
@@ -198,37 +234,62 @@ func (d *Daemon) list(job *ctlproto.Job) *ctlproto.Msg {
 
 // start instantiates the application in a sandboxed context.
 func (d *Daemon) start(job *ctlproto.Job) *ctlproto.Msg {
+	d.mu.Lock()
 	rj, ok := d.jobs[job.ID]
 	if !ok {
+		d.mu.Unlock()
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "not registered"}
 	}
-	if rj.inst != nil {
+	if rj.inst != nil || rj.starting {
+		d.mu.Unlock()
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already running"}
 	}
-	app, err := d.registry.New(rj.job.App, json.RawMessage(rj.job.Params))
+	rj.starting = true
+	spec, port := rj.job, rj.port
+	blacklist := d.blacklist
+	d.mu.Unlock()
+
+	// Instantiation runs unlocked: the constructor is caller code.
+	app, err := d.registry.New(spec.App, json.RawMessage(spec.Params))
 	if err != nil {
+		d.mu.Lock()
+		rj.starting = false
+		d.mu.Unlock()
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: err.Error()}
 	}
-	limits := d.cfg.Net.Tighten(sandbox.NetLimits{Blacklist: d.blacklist})
+	limits := d.cfg.Net.Tighten(sandbox.NetLimits{Blacklist: blacklist})
 	sb := sandbox.Wrap(d.node, limits)
 	info := core.JobInfo{
-		JobID:    rj.job.ID,
-		Me:       transport.Addr{Host: d.cfg.Name, Port: rj.port},
-		Nodes:    rj.job.Nodes,
-		Position: rj.job.Position,
+		JobID:    spec.ID,
+		Me:       transport.Addr{Host: d.cfg.Name, Port: port},
+		Nodes:    spec.Nodes,
+		Position: spec.Position,
+	}
+	d.mu.Lock()
+	if d.jobs[spec.ID] != rj {
+		// A concurrent STOP/FREE removed the job while we instantiated.
+		d.mu.Unlock()
+		sb.CloseAll()
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "stopped during start"}
 	}
 	rj.sb = sb
 	rj.inst = core.StartInstance(d.rt, sb, info, d.log, app)
-	d.log.Printf("daemon %s: started %s (%s) on port %d", d.cfg.Name, rj.job.ID, rj.job.App, rj.port)
+	rj.starting = false
+	d.mu.Unlock()
+	d.log.Printf("daemon %s: started %s (%s) on port %d", d.cfg.Name, spec.ID, spec.App, port)
 	return &ctlproto.Msg{Type: ctlproto.TAck}
 }
 
 func (d *Daemon) stopJob(id string) {
+	d.mu.Lock()
 	rj, ok := d.jobs[id]
+	if ok {
+		delete(d.jobs, id)
+	}
+	d.mu.Unlock()
 	if !ok {
 		return
 	}
-	delete(d.jobs, id)
 	if rj.inst != nil {
 		rj.inst.Kill()
 	}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/controller"
+	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/daemon"
+	"github.com/splaykit/splay/internal/sim"
+	"github.com/splaykit/splay/internal/simnet"
+	"github.com/splaykit/splay/internal/topology"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+func init() {
+	register("ctlplane", ctlplane)
+}
+
+// ctlplane measures the control plane itself, in the style of the
+// paper's §5.2–5.3: a real controller and real daemons (not an analytic
+// model like fig12) run on a PlanetLab-like simulated network, and a job
+// is deployed onto 60% of populations growing from 100 to 5,000 daemons
+// with the default 125% superset. Reported per population: percentiles
+// of the per-instance deployment delay (REGISTER superset probing →
+// LIST → START, measured from Submit to each instance's first
+// instruction), the submitter-observed deployment time, and the
+// controller's frame load per deployed node.
+func ctlplane(opt Options) (*Result, error) {
+	w := opt.out()
+	res := newResult("ctlplane")
+	fmt.Fprintf(w, "# ctlplane — deployment time vs daemon population (PlanetLab model, superset 125%%)\n")
+	fmt.Fprintf(w, "%-8s %-6s %9s %9s %9s %9s %9s %10s %12s\n",
+		"daemons", "nodes", "p5", "p25", "p50", "p75", "p90", "submit", "frames/node")
+	for _, ps := range []struct{ full, min int }{
+		{100, 10}, {500, 25}, {1000, 50}, {2000, 100}, {5000, 250},
+	} {
+		n := opt.n(ps.full, ps.min)
+		nodes := n * 3 / 5
+		run, err := runCtlplane(n, nodes, opt.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("ctlplane %d daemons: %w", n, err)
+		}
+		p := pctiles(run.delays)
+		framesPerNode := float64(run.frames) / float64(nodes)
+		fmt.Fprintf(w, "%-8d %-6d %9s %9s %9s %9s %9s %10s %12.1f\n",
+			n, nodes, r(p[0]), r(p[1]), r(p[2]), r(p[3]), r(p[4]),
+			r(run.submit), framesPerNode)
+		res.Metrics[fmt.Sprintf("p50_s_%d", ps.full)] = p[2].Seconds()
+		res.Metrics[fmt.Sprintf("p90_s_%d", ps.full)] = p[4].Seconds()
+		res.Metrics[fmt.Sprintf("submit_s_%d", ps.full)] = run.submit.Seconds()
+		res.Metrics[fmt.Sprintf("frames_per_node_%d", ps.full)] = framesPerNode
+	}
+	return res, nil
+}
+
+// ctlplaneRun is one population's measurement.
+type ctlplaneRun struct {
+	delays []time.Duration // per-instance Submit→start delay
+	submit time.Duration   // submitter-observed deployment time
+	frames int64           // controller frames written during deployment
+}
+
+// runCtlplane deploys one job through a live controller onto n simulated
+// daemons and reports the §5.2 deployment-time measures.
+func runCtlplane(n, nodes int, seed int64) (*ctlplaneRun, error) {
+	k := sim.NewKernel()
+	plCfg := topology.DefaultPlanetLab(n + 1)
+	plCfg.Seed = seed
+	pl := topology.NewPlanetLab(plCfg)
+	nw := simnet.New(k, pl, n+1, seed)
+	nw.SetProcDelay(pl.ProcDelay)
+	rt := core.NewSimRuntime(k, seed)
+
+	// The deployed app records when its first instruction runs; the delay
+	// from Submit is the §5.2 per-node deployment time.
+	var submitAt time.Time
+	run := &ctlplaneRun{}
+	reg := core.NewRegistry()
+	reg.Register("ctlapp", func(json.RawMessage) (core.App, error) {
+		return core.AppFunc(func(ctx *core.AppContext) error {
+			run.delays = append(run.delays, ctx.Now().Sub(submitAt))
+			return nil
+		}), nil
+	})
+
+	cfg := controller.DefaultConfig()
+	// The PlanetLab slowness tail reaches ten seconds per probe; give the
+	// superset machinery headroom at 5,000 daemons.
+	cfg.RegisterTimeout = 60 * time.Second
+	ctl := controller.New(rt, nw.Node(0), cfg)
+	var startErr error
+	k.Go(func() { startErr = ctl.Start() })
+	ctlAddr := transport.Addr{Host: simnet.HostName(0), Port: cfg.Port}
+	for i := 1; i <= n; i++ {
+		d := daemon.New(rt, nw.Node(i), reg, daemon.DefaultConfig(simnet.HostName(i)), nil)
+		k.GoAfter(time.Duration(i)*2*time.Millisecond, func() {
+			d.Connect(ctlAddr) //nolint:errcheck
+		})
+	}
+	// Connect window plus one full ping rotation, so selection has
+	// measured responsiveness for every daemon.
+	k.RunFor(45 * time.Second)
+	if startErr != nil {
+		return nil, startErr
+	}
+	if got := ctl.Daemons(); got != n {
+		return nil, fmt.Errorf("only %d/%d daemons connected", got, n)
+	}
+
+	framesBefore := ctl.FramesSent()
+	var job *controller.JobStatus
+	var subErr error
+	done := false
+	k.Go(func() {
+		submitAt = rt.Now()
+		job, subErr = ctl.Submit(controller.JobSpec{App: "ctlapp", Nodes: nodes})
+		// Snapshot the frame counter at completion so steady-state ping
+		// traffic after the deployment does not pollute the load figure.
+		run.frames = ctl.FramesSent() - framesBefore
+		done = true
+	})
+	for i := 0; i < 30 && !done; i++ {
+		k.RunFor(10 * time.Second)
+	}
+	if !done {
+		return nil, fmt.Errorf("deployment did not finish within the run window")
+	}
+	if subErr != nil {
+		return nil, subErr
+	}
+	if job.State != controller.JobRunning {
+		return nil, fmt.Errorf("job did not reach running")
+	}
+	if len(run.delays) != nodes {
+		return nil, fmt.Errorf("%d instances started, want %d", len(run.delays), nodes)
+	}
+	run.submit = job.StartedAt.Sub(submitAt)
+	return run, nil
+}

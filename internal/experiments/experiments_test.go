@@ -200,3 +200,42 @@ func TestFig9Shape(t *testing.T) {
 		t.Errorf("mixed median %vms outside [%v, %v]ms band", mx, lo, hi)
 	}
 }
+
+func TestCtlplaneShape(t *testing.T) {
+	t.Parallel()
+	res := run(t, "ctlplane", 0.05)
+	for _, pop := range []int{100, 500, 1000, 2000, 5000} {
+		p50 := res.Metrics[fmt.Sprintf("p50_s_%d", pop)]
+		p90 := res.Metrics[fmt.Sprintf("p90_s_%d", pop)]
+		sub := res.Metrics[fmt.Sprintf("submit_s_%d", pop)]
+		if p50 <= 0 || p90 < p50 || sub < p90 {
+			t.Errorf("pop %d: implausible percentiles p50=%v p90=%v submit=%v", pop, p50, p90, sub)
+		}
+		// REGISTER superset (1.25) + LIST + START per deployed node, plus
+		// FREEs and a small ping share: well under 10 frames per node.
+		fpn := res.Metrics[fmt.Sprintf("frames_per_node_%d", pop)]
+		if fpn < 3 || fpn > 10 {
+			t.Errorf("pop %d: frames/node = %v, want ≈3.5", pop, fpn)
+		}
+	}
+}
+
+// TestCtlplaneDeploys5000Daemons pins the headline capability: the
+// control plane deploys a job across a 5,000-daemon simulated testbed.
+func TestCtlplaneDeploys5000Daemons(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full-population control-plane run")
+	}
+	run, err := runCtlplane(5000, 3000, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.delays) != 3000 {
+		t.Fatalf("deployed %d instances, want 3000", len(run.delays))
+	}
+	p := pctiles(run.delays)
+	if p[2] <= 0 || run.submit < p[4] {
+		t.Fatalf("implausible deployment times: p50=%v p90=%v submit=%v", p[2], p[4], run.submit)
+	}
+}

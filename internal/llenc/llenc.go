@@ -24,6 +24,22 @@ var ErrTooLarge = errors.New("llenc: message exceeds maximum size")
 
 const headerSize = 4
 
+// FastMarshaler is implemented by message types with a hand-rolled JSON
+// fast path. AppendJSON appends the value's encoding to buf and reports
+// whether it did; the appended bytes must be identical to json.Marshal's
+// output for the value. When it reports false, buf is returned unchanged
+// and the caller uses encoding/json instead.
+type FastMarshaler interface {
+	AppendJSON(buf []byte) ([]byte, bool)
+}
+
+// FastUnmarshaler is the decoding counterpart: ParseJSON parses data and
+// reports whether it handled it, leaving the receiver untouched on
+// false so the caller can retry with encoding/json.
+type FastUnmarshaler interface {
+	ParseJSON(data []byte) bool
+}
+
 // Writer frames messages onto an io.Writer.
 type Writer struct {
 	w   io.Writer
@@ -49,8 +65,23 @@ func (w *Writer) WriteMessage(payload []byte) error {
 	return err
 }
 
-// Encode marshals v as JSON and writes it as one frame.
+// Encode marshals v as JSON and writes it as one frame. Values
+// implementing FastMarshaler encode straight into the frame buffer,
+// skipping both reflection and the payload copy.
 func (w *Writer) Encode(v any) error {
+	if fm, ok := v.(FastMarshaler); ok {
+		frame := append(w.buf[:0], 0, 0, 0, 0)
+		if b, ok := fm.AppendJSON(frame); ok {
+			n := len(b) - headerSize
+			if n > MaxMessage {
+				return ErrTooLarge
+			}
+			binary.BigEndian.PutUint32(b, uint32(n))
+			w.buf = b[:0]
+			_, err := w.w.Write(b)
+			return err
+		}
+	}
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("llenc: encode: %w", err)
@@ -91,11 +122,16 @@ func (r *Reader) ReadMessage() ([]byte, error) {
 	return buf, nil
 }
 
-// Decode reads one frame and unmarshals its JSON payload into v.
+// Decode reads one frame and unmarshals its JSON payload into v. Values
+// implementing FastUnmarshaler try their hand-rolled parser first and
+// fall back to encoding/json for anything it declined.
 func (r *Reader) Decode(v any) error {
 	payload, err := r.ReadMessage()
 	if err != nil {
 		return err
+	}
+	if fu, ok := v.(FastUnmarshaler); ok && fu.ParseJSON(payload) {
+		return nil
 	}
 	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("llenc: decode: %w", err)

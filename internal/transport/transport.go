@@ -15,8 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
-	"strings"
 	"time"
 )
 
@@ -28,23 +28,28 @@ type Addr struct {
 	Port int    `json:"port"`
 }
 
-// String renders the address as host:port.
-func (a Addr) String() string { return a.Host + ":" + strconv.Itoa(a.Port) }
+// String renders the address as host:port, bracketing IPv6 hosts
+// ("[::1]:5555") so the result round-trips through ParseAddr and the
+// standard dialers.
+func (a Addr) String() string { return net.JoinHostPort(a.Host, strconv.Itoa(a.Port)) }
 
 // IsZero reports whether the address is unset.
 func (a Addr) IsZero() bool { return a.Host == "" && a.Port == 0 }
 
-// ParseAddr parses "host:port".
+// ParseAddr parses "host:port" with net.SplitHostPort's bracket
+// semantics: IPv6 hosts must be bracketed ("[::1]:5555" parses to host
+// "::1"); an unbracketed "::1:5555" is rejected rather than mis-split at
+// the last colon.
 func ParseAddr(s string) (Addr, error) {
-	i := strings.LastIndexByte(s, ':')
-	if i < 0 {
-		return Addr{}, fmt.Errorf("transport: address %q missing port", s)
+	host, portStr, err := net.SplitHostPort(s)
+	if err != nil {
+		return Addr{}, fmt.Errorf("transport: address %q: %w", s, err)
 	}
-	port, err := strconv.Atoi(s[i+1:])
+	port, err := strconv.Atoi(portStr)
 	if err != nil || port < 0 || port > 65535 {
 		return Addr{}, fmt.Errorf("transport: address %q has invalid port", s)
 	}
-	return Addr{Host: s[:i], Port: port}, nil
+	return Addr{Host: host, Port: port}, nil
 }
 
 // Common transport errors. They satisfy errors.Is against themselves and

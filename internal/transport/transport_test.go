@@ -1,0 +1,60 @@
+package transport
+
+import "testing"
+
+func TestAddrStringBracketsIPv6(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want string
+	}{
+		{Addr{Host: "n3", Port: 5555}, "n3:5555"},
+		{Addr{Host: "10.0.0.1", Port: 80}, "10.0.0.1:80"},
+		{Addr{Host: "::1", Port: 5555}, "[::1]:5555"},
+		{Addr{Host: "2001:db8::42", Port: 8080}, "[2001:db8::42]:8080"},
+		{Addr{Host: "", Port: 5555}, ":5555"},
+	}
+	for _, c := range cases {
+		if got := c.addr.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	for _, a := range []Addr{
+		{Host: "n3", Port: 5555},
+		{Host: "10.0.0.1", Port: 80},
+		{Host: "::1", Port: 5555},
+		{Host: "2001:db8::42", Port: 65535},
+		{Host: "fe80::1", Port: 1},
+	} {
+		back, err := ParseAddr(a.String())
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", a.String(), err)
+			continue
+		}
+		if back != a {
+			t.Errorf("round trip %q: got %+v, want %+v", a.String(), back, a)
+		}
+	}
+}
+
+func TestParseAddrRejects(t *testing.T) {
+	for _, s := range []string{
+		"",            // empty
+		"host",        // no port
+		"host:",       // empty port
+		"host:x",      // non-numeric port
+		"host:70000",  // out of range
+		"host:-1",     // negative
+		"::1:5555",    // unbracketed IPv6 must not be mis-split
+		"[::1]:x",     // bracketed, bad port
+		"a:b:c:5555",  // ambiguous colons
+		"[::1]",       // brackets, no port
+		"[::1]:70000", // bracketed, out of range
+	} {
+		if a, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) = %+v, want error", s, a)
+		}
+	}
+}
