@@ -105,18 +105,45 @@ func (c *AppContext) Killed() bool {
 	return c.killed
 }
 
+// goWrap is the pooled kill-check wrapper Go schedules: one closure per
+// pooled object, ever, so spawning a task allocates nothing here. The
+// object recycles itself after snapshotting its fields, before running
+// fn, so a long-running task never holds it.
+type goWrap struct {
+	c   *AppContext
+	fn  func()
+	run func()
+}
+
+var goWrapPool sync.Pool
+
+func init() {
+	goWrapPool.New = func() any {
+		w := &goWrap{}
+		w.run = func() { w.exec() }
+		return w
+	}
+}
+
+func (w *goWrap) exec() {
+	c, fn := w.c, w.fn
+	w.c, w.fn = nil, nil
+	goWrapPool.Put(w)
+	if c.Killed() {
+		return
+	}
+	fn()
+}
+
 // Go starts fn as a task of this instance (the paper's events.thread).
 // After Kill, new tasks are silently dropped.
 func (c *AppContext) Go(fn func()) {
 	if c.Killed() {
 		return
 	}
-	c.rt.Go(func() {
-		if c.Killed() {
-			return
-		}
-		fn()
-	})
+	w := goWrapPool.Get().(*goWrap)
+	w.c, w.fn = c, fn
+	c.rt.Go(w.run)
 }
 
 // After schedules fn once after d; it is canceled automatically on Kill.

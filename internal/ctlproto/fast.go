@@ -3,6 +3,7 @@ package ctlproto
 import (
 	"strconv"
 
+	"github.com/splaykit/splay/internal/llenc"
 	"github.com/splaykit/splay/internal/transport"
 )
 
@@ -16,20 +17,12 @@ import (
 // differentially; anything the fast path cannot reproduce exactly
 // (strings needing escapes, non-ASCII, raw Params payloads) reports
 // false and the caller falls back to encoding/json, so the wire format
-// never diverges.
+// never diverges. The character-class rules and lexer primitives are
+// shared with the RPC envelope codec via llenc (JSONSafe, Lexer).
 
 // jsonSafe reports whether encoding/json would emit s as a plain quoted
-// string: printable ASCII with no characters that JSON or the default
-// HTML escaping would rewrite.
-func jsonSafe(s string) bool {
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
-			return false
-		}
-	}
-	return true
-}
+// string.
+func jsonSafe(s string) bool { return llenc.JSONSafe(s) }
 
 // AppendJSON implements llenc.FastMarshaler. On success the appended
 // bytes equal json.Marshal(m); on false buf is returned unchanged.
@@ -53,7 +46,7 @@ func (m *Msg) AppendJSON(buf []byte) ([]byte, bool) {
 		}
 	}
 	b := append(buf, `{"seq":`...)
-	b = strconv.AppendUint(b, m.Seq, 10)
+	b = llenc.AppendUint(b, m.Seq)
 	b = append(b, `,"type":"`...)
 	b = append(b, m.Type...)
 	b = append(b, '"')
@@ -100,9 +93,7 @@ func (m *Msg) AppendJSON(buf []byte) ([]byte, bool) {
 			if i > 0 {
 				b = append(b, ',')
 			}
-			b = append(b, '"')
-			b = append(b, h...)
-			b = append(b, '"')
+			b = llenc.AppendJSONString(b, h)
 		}
 		b = append(b, ']')
 	}
@@ -133,13 +124,12 @@ func appendIntField(b []byte, prefix string, v int) []byte {
 // not handle: escape sequences, unknown keys, null, floats, or raw
 // Params payloads. The caller then retries with encoding/json.
 func (m *Msg) ParseJSON(data []byte) bool {
-	p := parser{data: data}
+	p := parser{Lexer: llenc.Lexer{Data: data}}
 	var out Msg
 	if !p.parseMsg(&out) {
 		return false
 	}
-	p.skipWS()
-	if p.i != len(p.data) {
+	if !p.End() {
 		return false
 	}
 	*m = out
@@ -147,55 +137,7 @@ func (m *Msg) ParseJSON(data []byte) bool {
 }
 
 type parser struct {
-	data []byte
-	i    int
-}
-
-func (p *parser) skipWS() {
-	for p.i < len(p.data) {
-		switch p.data[p.i] {
-		case ' ', '\t', '\n', '\r':
-			p.i++
-		default:
-			return
-		}
-	}
-}
-
-// consume advances past c if it is the next byte.
-func (p *parser) consume(c byte) bool {
-	if p.i < len(p.data) && p.data[p.i] == c {
-		p.i++
-		return true
-	}
-	return false
-}
-
-// rawStr parses a quoted string with no escapes, returning the raw bytes
-// between the quotes (non-ASCII passes through verbatim).
-func (p *parser) rawStr() ([]byte, bool) {
-	if !p.consume('"') {
-		return nil, false
-	}
-	start := p.i
-	for p.i < len(p.data) {
-		c := p.data[p.i]
-		if c == '"' {
-			s := p.data[start:p.i]
-			p.i++
-			return s, true
-		}
-		if c == '\\' || c < 0x20 {
-			return nil, false
-		}
-		p.i++
-	}
-	return nil, false
-}
-
-func (p *parser) str() (string, bool) {
-	b, ok := p.rawStr()
-	return string(b), ok
+	llenc.Lexer
 }
 
 // internType avoids a string allocation for the protocol's fixed command
@@ -228,137 +170,90 @@ func internType(b []byte) string {
 	return string(b)
 }
 
-func (p *parser) uint() (uint64, bool) {
-	start := p.i
-	var v uint64
-	for p.i < len(p.data) {
-		c := p.data[p.i]
-		if c < '0' || c > '9' {
-			break
-		}
-		d := uint64(c - '0')
-		// Exact overflow check: encoding/json rejects out-of-range
-		// numbers, so wrapping here would decode a frame it refuses.
-		const cutoff = (1<<64 - 1) / 10
-		if v > cutoff || (v == cutoff && d > (1<<64-1)%10) {
-			return 0, false
-		}
-		v = v*10 + d
-		p.i++
-	}
-	if p.i == start {
-		return 0, false
-	}
-	// "00"/"01" are invalid JSON numbers; decline rather than guess.
-	if p.data[start] == '0' && p.i-start > 1 {
-		return 0, false
-	}
-	// Trailing float/exponent syntax goes to the fallback.
-	if p.i < len(p.data) {
-		switch p.data[p.i] {
-		case '.', 'e', 'E':
-			return 0, false
-		}
-	}
-	return v, true
-}
-
-func (p *parser) int() (int, bool) {
-	neg := p.consume('-')
-	v, ok := p.uint()
-	if !ok || v > 1<<62 {
-		return 0, false
-	}
-	if neg {
-		return int(-int64(v)), true
-	}
-	return int(v), true
-}
-
 func (p *parser) parseMsg(out *Msg) bool {
-	p.skipWS()
-	if !p.consume('{') {
+	p.SkipWS()
+	if !p.Consume('{') {
 		return false
 	}
-	p.skipWS()
-	if p.consume('}') {
+	p.SkipWS()
+	if p.Consume('}') {
 		return true
 	}
 	for {
-		p.skipWS()
-		key, ok := p.rawStr()
+		p.SkipWS()
+		key, ok := p.RawString()
 		if !ok {
 			return false
 		}
-		p.skipWS()
-		if !p.consume(':') {
+		p.SkipWS()
+		if !p.Consume(':') {
 			return false
 		}
-		p.skipWS()
+		p.SkipWS()
 		switch string(key) {
 		case "seq":
-			out.Seq, ok = p.uint()
+			out.Seq, ok = p.Uint()
 		case "type":
 			var b []byte
-			b, ok = p.rawStr()
+			b, ok = p.RawString()
 			out.Type = internType(b)
 		case "name":
-			out.Name, ok = p.str()
+			out.Name, ok = p.String()
 		case "key":
-			out.Key, ok = p.str()
+			out.Key, ok = p.String()
 		case "port_low":
-			out.PortLow, ok = p.int()
+			out.PortLow, ok = p.Int()
 		case "port_high":
-			out.PortHigh, ok = p.int()
+			out.PortHigh, ok = p.Int()
 		case "job":
 			out.Job = &Job{}
 			ok = p.parseJob(out.Job)
 		case "hosts":
 			out.Hosts, ok = p.parseStrings()
 		case "port":
-			out.Port, ok = p.int()
+			out.Port, ok = p.Int()
 		case "err":
-			out.Err, ok = p.str()
+			out.Err, ok = p.String()
 		default:
 			return false
 		}
 		if !ok {
 			return false
 		}
-		p.skipWS()
-		if p.consume(',') {
+		p.SkipWS()
+		if p.Consume(',') {
 			continue
 		}
-		return p.consume('}')
+		return p.Consume('}')
 	}
 }
 
 func (p *parser) parseJob(out *Job) bool {
-	if !p.consume('{') {
+	if !p.Consume('{') {
 		return false
 	}
-	p.skipWS()
-	if p.consume('}') {
+	p.SkipWS()
+	if p.Consume('}') {
 		return true
 	}
 	for {
-		p.skipWS()
-		key, ok := p.rawStr()
+		p.SkipWS()
+		key, ok := p.RawString()
 		if !ok {
 			return false
 		}
-		p.skipWS()
-		if !p.consume(':') {
+		p.SkipWS()
+		if !p.Consume(':') {
 			return false
 		}
-		p.skipWS()
+		p.SkipWS()
 		switch string(key) {
 		case "id":
-			out.ID, ok = p.str()
+			out.ID, ok = p.String()
 		case "app":
-			out.App, ok = p.str()
+			out.App, ok = p.String()
 		case "position":
-			out.Position, ok = p.int()
+			out.Position, ok = p.Int()
 		case "nodes":
 			ok = p.parseAddrs(&out.Nodes)
 		default:
@@ -369,35 +264,35 @@ func (p *parser) parseJob(out *Job) bool {
 		if !ok {
 			return false
 		}
-		p.skipWS()
-		if p.consume(',') {
+		p.SkipWS()
+		if p.Consume(',') {
 			continue
 		}
-		return p.consume('}')
+		return p.Consume('}')
 	}
 }
 
 func (p *parser) parseStrings() ([]string, bool) {
-	if !p.consume('[') {
+	if !p.Consume('[') {
 		return nil, false
 	}
-	p.skipWS()
-	if p.consume(']') {
+	p.SkipWS()
+	if p.Consume(']') {
 		return []string{}, true
 	}
 	var out []string
 	for {
-		p.skipWS()
-		s, ok := p.str()
+		p.SkipWS()
+		s, ok := p.String()
 		if !ok {
 			return nil, false
 		}
 		out = append(out, s)
-		p.skipWS()
-		if p.consume(',') {
+		p.SkipWS()
+		if p.Consume(',') {
 			continue
 		}
-		if p.consume(']') {
+		if p.Consume(']') {
 			return out, true
 		}
 		return nil, false
@@ -405,27 +300,27 @@ func (p *parser) parseStrings() ([]string, bool) {
 }
 
 func (p *parser) parseAddrs(out *[]transport.Addr) bool {
-	if !p.consume('[') {
+	if !p.Consume('[') {
 		return false
 	}
-	p.skipWS()
-	if p.consume(']') {
+	p.SkipWS()
+	if p.Consume(']') {
 		*out = []transport.Addr{}
 		return true
 	}
 	var addrs []transport.Addr
 	for {
-		p.skipWS()
+		p.SkipWS()
 		a, ok := p.parseAddr()
 		if !ok {
 			return false
 		}
 		addrs = append(addrs, a)
-		p.skipWS()
-		if p.consume(',') {
+		p.SkipWS()
+		if p.Consume(',') {
 			continue
 		}
-		if p.consume(']') {
+		if p.Consume(']') {
 			*out = addrs
 			return true
 		}
@@ -435,39 +330,39 @@ func (p *parser) parseAddrs(out *[]transport.Addr) bool {
 
 func (p *parser) parseAddr() (transport.Addr, bool) {
 	var a transport.Addr
-	if !p.consume('{') {
+	if !p.Consume('{') {
 		return a, false
 	}
-	p.skipWS()
-	if p.consume('}') {
+	p.SkipWS()
+	if p.Consume('}') {
 		return a, true
 	}
 	for {
-		p.skipWS()
-		key, ok := p.rawStr()
+		p.SkipWS()
+		key, ok := p.RawString()
 		if !ok {
 			return a, false
 		}
-		p.skipWS()
-		if !p.consume(':') {
+		p.SkipWS()
+		if !p.Consume(':') {
 			return a, false
 		}
-		p.skipWS()
+		p.SkipWS()
 		switch string(key) {
 		case "host":
-			a.Host, ok = p.str()
+			a.Host, ok = p.String()
 		case "port":
-			a.Port, ok = p.int()
+			a.Port, ok = p.Int()
 		default:
 			return a, false
 		}
 		if !ok {
 			return a, false
 		}
-		p.skipWS()
-		if p.consume(',') {
+		p.SkipWS()
+		if p.Consume(',') {
 			continue
 		}
-		return a, p.consume('}')
+		return a, p.Consume('}')
 	}
 }

@@ -14,6 +14,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"github.com/splaykit/splay/internal/stats"
 )
 
 // Options tunes an experiment run.
@@ -93,8 +95,7 @@ func printCDF(w io.Writer, label string, samples []time.Duration, points int) {
 		fmt.Fprintf(w, "%s: no samples\n", label)
 		return
 	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := stats.Durations(samples).Sorted()
 	fmt.Fprintf(w, "# %s — CDF over %d samples\n", label, len(sorted))
 	for i := 1; i <= points; i++ {
 		idx := len(sorted)*i/points - 1
@@ -106,20 +107,17 @@ func printCDF(w io.Writer, label string, samples []time.Duration, points int) {
 	}
 }
 
-// pctiles returns the 5/25/50/75/90th percentiles of samples.
+// pctiles returns the 5/25/50/75/90th floor-index quantiles of samples,
+// delegating to the stats package's single implementation of the
+// convention (one sort, five lookups).
 func pctiles(samples []time.Duration) [5]time.Duration {
 	var out [5]time.Duration
 	if len(samples) == 0 {
 		return out
 	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for i, p := range []float64{0.05, 0.25, 0.50, 0.75, 0.90} {
-		idx := int(p * float64(len(sorted)))
-		if idx >= len(sorted) {
-			idx = len(sorted) - 1
-		}
-		out[i] = sorted[idx]
+	sorted := stats.Durations(samples).Sorted()
+	for i, q := range [...]float64{0.05, 0.25, 0.50, 0.75, 0.90} {
+		out[i] = sorted.Quantile(q)
 	}
 	return out
 }

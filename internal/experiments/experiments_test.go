@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/splaykit/splay/internal/protocols/chord"
+	"github.com/splaykit/splay/internal/topology"
 )
 
 // The experiment suite at small scale: every experiment must run and
@@ -217,6 +220,51 @@ func TestCtlplaneShape(t *testing.T) {
 		if fpn < 3 || fpn > 10 {
 			t.Errorf("pop %d: frames/node = %v, want ≈3.5", pop, fpn)
 		}
+	}
+}
+
+func TestLookup10kShape(t *testing.T) {
+	t.Parallel()
+	res := run(t, "lookup10k", 0.02)
+	for _, pop := range []int{2000, 5000, 10000} {
+		hops := res.Metrics[fmt.Sprintf("mean_hops_%d", pop)]
+		if hops <= 1 || hops > 8 {
+			t.Errorf("pop %d: mean hops %.2f implausible for Chord", pop, hops)
+		}
+		if res.Metrics[fmt.Sprintf("p90_ms_%d", pop)] < res.Metrics[fmt.Sprintf("p50_ms_%d", pop)] {
+			t.Errorf("pop %d: p90 below p50", pop)
+		}
+		if res.Metrics[fmt.Sprintf("fails_%d", pop)] != 0 {
+			t.Errorf("pop %d: lookups failed on a converged ring", pop)
+		}
+	}
+	// Route length grows with population (the log N law the paper checks).
+	if res.Metrics["mean_hops_10000"] <= res.Metrics["mean_hops_2000"] {
+		t.Errorf("hops did not grow with population: %v vs %v",
+			res.Metrics["mean_hops_10000"], res.Metrics["mean_hops_2000"])
+	}
+}
+
+// TestLookup10kFullPopulation pins the headline capability at paper-plus
+// scale: a converged 10,000-node Chord ring resolves lookups with the
+// expected ½·log₂N routes. Skipped in -short; the full run also anchors
+// the EXPERIMENTS.md numbers.
+func TestLookup10kFullPopulation(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("10,000-host simulation")
+	}
+	n := 10000
+	mn := topology.NewModelNet(topology.DefaultModelNet(n))
+	run, err := runChord(mn, n, chord.DefaultConfig(), n, 2009, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.fails != 0 {
+		t.Fatalf("%d lookups failed on a converged ring", run.fails)
+	}
+	if got, bound := run.hops.Mean(), 0.5*log2(float64(n)); got <= 1 || got > bound+1.5 {
+		t.Fatalf("mean hops %.2f outside the ½·log₂N envelope (%.2f)", got, bound)
 	}
 }
 

@@ -249,9 +249,10 @@ func fig14(opt Options) (*Result, error) {
 			continue
 		}
 		hr := float64(hit[b]) / float64(tot) * 100
+		sorted := delays[b].Sorted() // one sort serves all three percentiles
 		fmt.Fprintf(w, "%-10s %7.1f%% %10s %10s %10s\n",
 			time.Duration(b)*bucket, hr,
-			r(delays[b].Percentile(50)), r(delays[b].Percentile(75)), r(delays[b].Percentile(95)))
+			r(sorted.Percentile(50)), r(sorted.Percentile(75)), r(sorted.Percentile(95)))
 		if b >= 1 { // skip warm-up
 			steadyHits += hit[b]
 			steadyTotal += tot
@@ -266,7 +267,8 @@ func fig14(opt Options) (*Result, error) {
 	for b := 1; b < nBuckets; b++ {
 		all = append(all, delays[b]...)
 	}
-	res.Metrics["p75_ms"] = float64(all.Percentile(75).Milliseconds())
-	res.Metrics["p95_ms"] = float64(all.Percentile(95).Milliseconds())
+	allSorted := all.Sorted()
+	res.Metrics["p75_ms"] = float64(allSorted.Percentile(75).Milliseconds())
+	res.Metrics["p95_ms"] = float64(allSorted.Percentile(95).Milliseconds())
 	return res, nil
 }

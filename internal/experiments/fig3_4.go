@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/splaykit/splay/internal/churn"
+	"github.com/splaykit/splay/internal/stats"
 	"github.com/splaykit/splay/internal/topology"
 	"github.com/splaykit/splay/internal/workload"
 )
@@ -29,12 +29,8 @@ func fig3(opt Options) (*Result, error) {
 	samples := workload.ProbeSamples(probes, hosts, func(h int) time.Duration {
 		return pl.ProbeDelay(h, 20<<10)
 	})
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-
-	frac := func(limit time.Duration) float64 {
-		n := sort.Search(len(samples), func(i int) bool { return samples[i] > limit })
-		return float64(n) / float64(len(samples))
-	}
+	sorted := stats.Durations(samples).Sorted()
+	frac := sorted.CDFAt
 	fmt.Fprintf(w, "# Fig. 3 — controller→PlanetLab RTT, 20KB payload, %d hosts, %d probes\n", hosts, probes)
 	for _, limit := range []time.Duration{
 		100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
@@ -45,7 +41,7 @@ func fig3(opt Options) (*Result, error) {
 	res := newResult("fig3")
 	res.Metrics["p_under_250ms"] = frac(250 * time.Millisecond)
 	res.Metrics["p_over_1s"] = 1 - frac(time.Second)
-	res.Metrics["max_seconds"] = samples[len(samples)-1].Seconds()
+	res.Metrics["max_seconds"] = sorted[len(sorted)-1].Seconds()
 	return res, nil
 }
 

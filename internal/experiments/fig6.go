@@ -143,10 +143,11 @@ func fig6b(opt Options) (*Result, error) {
 			return nil, err
 		}
 		printCDF(w, fmt.Sprintf("%d-nodes", n), run.delays, 10)
+		sorted := run.delays.Sorted() // one sort serves both percentiles
 		res.Metrics[fmt.Sprintf("median_ms_%d", full)] =
-			float64(run.delays.Percentile(50).Milliseconds())
+			float64(sorted.Percentile(50).Milliseconds())
 		res.Metrics[fmt.Sprintf("p90_ms_%d", full)] =
-			float64(run.delays.Percentile(90).Milliseconds())
+			float64(sorted.Percentile(90).Milliseconds())
 	}
 	return res, nil
 }

@@ -437,10 +437,11 @@ func fig11(opt Options) (*Result, error) {
 			if b < len(pop) {
 				p, j, l = pop[b], joins[b], leaves[b]
 			}
+			sorted := series.delays[b].Sorted() // one sort, two percentiles
 			fmt.Fprintf(w, "%-8d %6d %6d %6d %7.1f%% %10s %10s\n",
 				b, p, j, l,
 				float64(series.fail[b])/float64(tot)*100,
-				r(series.delays[b].Percentile(50)), r(series.delays[b].Percentile(90)))
+				r(sorted.Percentile(50)), r(sorted.Percentile(90)))
 		}
 		failRate := float64(totFail) / float64(totOK+totFail) * 100
 		fmt.Fprintf(w, "overall failure rate ×%.0f: %.2f%%\n", speed, failRate)

@@ -1,0 +1,108 @@
+package llenc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+// TestValidJSONMatchesEncodingJSON is the strict validator's contract:
+// acceptance must never be wider than json.Valid's (narrower is fine —
+// a decline only costs the caller a fallback).
+func TestValidJSONMatchesEncodingJSON(t *testing.T) {
+	accepts := []string{
+		`null`, `true`, `false`, `0`, `-0`, `123`, `-12.5`, `1e3`, `1E+3`,
+		`2.5e-7`, `""`, `"abc"`, `"sp ace"`, `"esc\"aped\\\n"`, `"é"`,
+		`[]`, `[1,2,3]`, `{"k":1}`, `{"a":{"b":[true,null,"x"]}}`,
+		` [ 1 , {"k" : "v"} ] `, `"é"`,
+	}
+	for _, src := range accepts {
+		if !ValidJSON([]byte(src)) {
+			t.Errorf("ValidJSON rejected valid %q", src)
+		}
+		if !json.Valid([]byte(src)) {
+			t.Fatalf("test case %q is not actually valid", src)
+		}
+	}
+	rejects := []string{
+		``, `{`, `}`, `[1,]`, `{"k":}`, `{"k" 1}`, `{k:1}`, `01`, `+1`,
+		`1.`, `.5`, `1e`, `truex`, `nul`, `"unterminated`, `"bad\escape"`,
+		`"\u00zz"`, `[1 2]`, `{"a":1,}`, `[]]`, `1 2`, "\"ctrl\x01\"",
+	}
+	for _, src := range rejects {
+		if json.Valid([]byte(src)) {
+			t.Fatalf("test case %q is actually valid", src)
+		}
+		if ValidJSON([]byte(src)) {
+			t.Errorf("ValidJSON accepted invalid %q", src)
+		}
+	}
+}
+
+// TestValidJSONNeverWiderQuick fuzzes the one-way implication with
+// random bytes (mostly JSON-ish punctuation so real structures appear).
+func TestValidJSONNeverWiderQuick(t *testing.T) {
+	alphabet := []byte(`{}[]",:0123456789.eE+-truefalsnl \`)
+	f := func(raw []byte) bool {
+		b := make([]byte, len(raw))
+		for i, v := range raw {
+			b[i] = alphabet[int(v)%len(alphabet)]
+		}
+		if ValidJSON(b) && !json.Valid(b) {
+			t.Logf("accepted invalid %q", b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJSONVerbatimCompactIdentity pins JSONVerbatim's meaning: when it
+// reports true for a valid value, encoding/json's RawMessage encoder
+// emits the bytes unchanged.
+func TestJSONVerbatimCompactIdentity(t *testing.T) {
+	cases := []string{
+		`null`, `123`, `"plain"`, `"sp ace"`, `"escA"`, `{"k":[1,"x"]}`,
+		`"é"`, `[{"a":1},{"b":2}]`,
+	}
+	for _, src := range cases {
+		raw := json.RawMessage(src)
+		enc, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if JSONVerbatim(raw) && !bytes.Equal(enc, raw) {
+			t.Errorf("JSONVerbatim(%q) true but encoder emits %q", src, enc)
+		}
+	}
+	// Values the encoder rewrites must report false.
+	for _, src := range []string{
+		`[1, 2]`, `{"k": 1}`, `"<tag>"`, `"a&b"`, "\" \"", `[1,"<"]`,
+	} {
+		raw := json.RawMessage(src)
+		enc, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if JSONVerbatim(raw) && !bytes.Equal(enc, raw) {
+			t.Errorf("JSONVerbatim(%q) true but encoder emits %q", src, enc)
+		}
+	}
+}
+
+// TestLexerRawStringDeclinesInvalidUTF8 pins the U+FFFD divergence
+// guard: encoding/json rewrites invalid UTF-8 inside strings, so the
+// lexer must decline it rather than pass it through.
+func TestLexerRawStringDeclinesInvalidUTF8(t *testing.T) {
+	l := Lexer{Data: []byte("\"\x9a\"")}
+	if _, ok := l.RawString(); ok {
+		t.Fatal("RawString accepted invalid UTF-8")
+	}
+	l = Lexer{Data: []byte(`"é"`)}
+	if s, ok := l.RawString(); !ok || string(s) != "é" {
+		t.Fatalf("RawString declined valid UTF-8: %q %v", s, ok)
+	}
+}

@@ -111,6 +111,7 @@ type Peer struct {
 	torrent Torrent
 	tracker transport.Addr
 	self    transport.Addr
+	selfArg any // self pre-encoded once for announce/handshake calls
 
 	have     []bool
 	pieces   int
@@ -132,6 +133,7 @@ func NewPeer(ctx *core.AppContext, torrent Torrent, tracker transport.Addr, seed
 	p := &Peer{
 		ctx: ctx, cfg: cfg, torrent: torrent, tracker: tracker,
 		self:     ctx.Job.Me,
+		selfArg:  rpc.PreEncode(ctx.Job.Me),
 		have:     make([]bool, torrent.NumPieces()),
 		peers:    make(map[string]*remotePeer),
 		inflight: make(map[int]bool),
@@ -187,7 +189,7 @@ func (p *Peer) Stop() {
 // announce refreshes the peer set from the tracker and handshakes new
 // neighbors.
 func (p *Peer) announce() {
-	res, err := p.client.Call(p.tracker, "announce", p.self)
+	res, err := p.client.Call(p.tracker, "announce", p.selfArg)
 	if err != nil {
 		return
 	}
@@ -207,7 +209,7 @@ func (p *Peer) announce() {
 }
 
 func (p *Peer) handshake(a transport.Addr) {
-	res, err := p.client.Call(a, "bt_handshake", p.self, p.have)
+	res, err := p.client.Call(a, "bt_handshake", p.selfArg, p.have)
 	if err != nil {
 		return
 	}
@@ -332,7 +334,7 @@ func (p *Peer) schedule() {
 		p.inflight[idx] = true
 		p.ctx.Go(func() {
 			defer delete(p.inflight, idx)
-			res, err := p.client.Call(rp.addr, "bt_request", p.self, idx)
+			res, err := p.client.Call(rp.addr, "bt_request", p.selfArg, idx)
 			if err != nil {
 				return // choked or dead; the scheduler will retry
 			}
@@ -360,7 +362,7 @@ func (p *Peer) onPiece(idx, size int, from *remotePeer) {
 	for _, rp := range p.peers {
 		rp := rp
 		p.ctx.Go(func() {
-			p.client.Call(rp.addr, "bt_have", p.self, idx) //nolint:errcheck
+			p.client.Call(rp.addr, "bt_have", p.selfArg, idx) //nolint:errcheck
 		})
 	}
 }

@@ -115,6 +115,8 @@ type Node struct {
 	server *rpc.Server
 	client *rpc.Client
 
+	selfArg any // n.self pre-encoded once for notify/join calls
+
 	refresh uint // next finger to refresh (paper's refresh variable)
 	stats   Stats
 	stops   []func()
@@ -149,6 +151,9 @@ func New(ctx *core.AppContext, cfg Config) (*Node, error) {
 		self:   NodeRef{ID: id, Addr: ctx.Job.Me},
 		finger: make([]NodeRef, cfg.Bits+1),
 	}
+	// The node's own reference travels in every notify and join; encode
+	// it once and hand the canonical bytes to each call.
+	n.selfArg = rpc.PreEncode(n.self)
 	n.finger[1] = n.self // a fresh node is its own successor
 	n.client = rpc.NewClient(ctx)
 	n.client.Timeout = cfg.RPCTimeout
@@ -215,7 +220,7 @@ func (n *Node) Join(seed transport.Addr) error {
 		return fmt.Errorf("chord: join: %w", err)
 	}
 	n.setSuccessor(fr.Node)
-	n.client.Call(n.finger[1].Addr, "notify", n.self) //nolint:errcheck // stabilization repairs
+	n.client.Call(n.finger[1].Addr, "notify", n.selfArg) //nolint:errcheck // stabilization repairs
 	return nil
 }
 
@@ -250,7 +255,7 @@ func (n *Node) Stabilize() {
 		n.space.Between(x.ID, n.self.ID, succ.ID, false, false) {
 		n.setSuccessor(x) // new successor
 	}
-	n.client.Call(n.finger[1].Addr, "notify", n.self) //nolint:errcheck
+	n.client.Call(n.finger[1].Addr, "notify", n.selfArg) //nolint:errcheck
 	if n.cfg.FaultTolerant {
 		n.refreshSuccList()
 	}

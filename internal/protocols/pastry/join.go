@@ -64,7 +64,7 @@ func (n *Node) handleJoinRoute(args rpc.Args) (any, error) {
 // message to our own identifier's root, absorb the donated state, then
 // announce ourselves to everyone we learned about.
 func (n *Node) Join(seed transport.Addr) error {
-	res, err := n.client.Call(seed, "join_route", n.self)
+	res, err := n.client.Call(seed, "join_route", n.selfArg)
 	if err != nil {
 		return fmt.Errorf("pastry: join via %s: %w", seed, err)
 	}
@@ -92,7 +92,7 @@ func (n *Node) Join(seed transport.Addr) error {
 		return true
 	})
 	for _, r := range targets {
-		n.client.Call(r.Addr, "announce", n.self) //nolint:errcheck
+		n.client.Call(r.Addr, "announce", n.selfArg) //nolint:errcheck
 	}
 	return nil
 }

@@ -79,10 +79,11 @@ type Node struct {
 	right []NodeRef // clockwise leaves, nearest first
 	table [Digits][Radix]NodeRef
 
-	client *rpc.Client
-	server *rpc.Server
-	stats  Stats
-	stops  []func()
+	client  *rpc.Client
+	server  *rpc.Server
+	selfArg any // self pre-encoded once for join/announce calls
+	stats   Stats
+	stops   []func()
 }
 
 // New creates a node bound to ctx; its address is ctx.Job.Me.
@@ -107,6 +108,7 @@ func New(ctx *core.AppContext, cfg Config) *Node {
 	}
 	n.client = rpc.NewClient(ctx)
 	n.client.Timeout = cfg.RPCTimeout
+	n.selfArg = rpc.PreEncode(n.self)
 	return n
 }
 

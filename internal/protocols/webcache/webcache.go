@@ -169,7 +169,7 @@ func (c *Cache) Get(url string) (GetResult, error) {
 
 	var reply cacheReply
 	if home.Addr == c.pastry.Self().Addr {
-		r, err := c.handleCacheGet(rpc.Args{mustJSON(url)})
+		r, err := c.handleCacheGet(rpc.NewArgs(mustJSON(url)))
 		if err != nil {
 			return GetResult{}, err
 		}

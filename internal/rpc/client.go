@@ -3,6 +3,7 @@ package rpc
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
@@ -24,13 +25,13 @@ type Client struct {
 	DropRate float64
 
 	pooling bool
-	peers   map[string]*peerConn
+	peers   map[transport.Addr]*peerConn
 }
 
 // NewClient returns a client with the paper's default two-minute timeout
 // and pooling enabled.
 func NewClient(ctx *core.AppContext) *Client {
-	return &Client{ctx: ctx, Timeout: DefaultTimeout, pooling: true, peers: make(map[string]*peerConn)}
+	return &Client{ctx: ctx, Timeout: DefaultTimeout, pooling: true, peers: make(map[transport.Addr]*peerConn)}
 }
 
 // SetPooling toggles connection reuse (ablation: one connection per call
@@ -85,8 +86,7 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		pc.dial(timeout)
 		return pc, pc.err
 	}
-	key := to.String()
-	pc, ok := c.peers[key]
+	pc, ok := c.peers[to]
 	if ok && !pc.broken {
 		if pc.ready {
 			return pc, nil
@@ -109,7 +109,7 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		return pc, nil
 	}
 	pc = newPeerConn(c, to, true)
-	c.peers[key] = pc
+	c.peers[to] = pc
 	pc.dial(timeout)
 	if pc.err != nil {
 		return nil, pc.err
@@ -123,9 +123,10 @@ type peerConn struct {
 	to     transport.Addr
 	pooled bool
 
-	conn  transport.Conn
-	enc   *llenc.Writer
-	wlock *core.Lock
+	conn    transport.Conn
+	enc     *llenc.Writer
+	wlock   *core.Lock
+	scratch request // encode staging; guarded by wlock so &scratch never escapes a call
 
 	ready       bool
 	broken      bool
@@ -171,7 +172,7 @@ func (p *peerConn) fail(err error) {
 	p.broken = true
 	p.err = err
 	if p.pooled {
-		delete(p.client.peers, p.to.String())
+		delete(p.client.peers, p.to)
 	}
 	if p.conn != nil {
 		p.conn.Close()
@@ -186,21 +187,63 @@ func (p *peerConn) fail(err error) {
 	}
 }
 
+// respPool recycles decoded response envelopes between the read loop and
+// the callers it wakes. Result bytes are always freshly allocated (they
+// are handed to the application), so only the struct is reused.
+var respPool = sync.Pool{New: func() any { return new(response) }}
+
+func putResp(r *response) {
+	*r = response{}
+	respPool.Put(r)
+}
+
 func (p *peerConn) readLoop() {
 	dec := llenc.NewReader(p.conn)
 	for {
-		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		payload, err := dec.ReadMessage()
+		if err != nil {
 			p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
 			return
 		}
+		resp := respPool.Get().(*response)
+		if !resp.parseJSON(payload) {
+			*resp = response{}
+			if err := json.Unmarshal(payload, resp); err != nil {
+				putResp(resp)
+				p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
+				return
+			}
+		}
 		w, ok := p.pending[resp.ID]
 		if !ok {
-			continue // response after the caller timed out
+			putResp(resp) // response after the caller timed out
+			continue
 		}
 		delete(p.pending, resp.ID)
-		w.Wake(resp)
+		if !w.Wake(resp) {
+			putResp(resp)
+		}
 	}
+}
+
+// send writes the request under the connection's write lock and reports
+// whether it succeeded; on failure the connection is dead and p.err
+// holds the verdict. Requests are not batched the way server replies
+// are: the exact park/wake sequence of callers contending for the lock
+// is part of the pinned deterministic event order (TestGoldenBitForBit),
+// and a client frame is written by the task that owns the call anyway.
+func (p *peerConn) send(req request) bool {
+	p.wlock.Lock()
+	p.scratch = req
+	err := p.enc.Encode(&p.scratch)
+	p.scratch.Args = nil // drop argument references
+	p.wlock.Unlock()
+	if err != nil {
+		delete(p.pending, req.ID)
+		p.fail(fmt.Errorf("rpc: send to %s: %w", p.to, err))
+		return false
+	}
+	return true
 }
 
 func (p *peerConn) call(timeout time.Duration, method string, args []any) (Result, error) {
@@ -213,24 +256,21 @@ func (p *peerConn) call(timeout time.Duration, method string, args []any) (Resul
 	w.WakeAfter(timeout, error(ErrTimeout))
 	p.pending[id] = w
 
-	p.wlock.Lock()
-	err := p.enc.Encode(request{ID: id, Method: method, Args: args})
-	p.wlock.Unlock()
-	if err != nil {
-		delete(p.pending, id)
-		p.fail(fmt.Errorf("rpc: send to %s: %w", p.to, err))
+	if !p.send(request{ID: id, Method: method, Args: args}) {
 		return nil, p.err
 	}
 
 	switch v := w.Wait().(type) {
-	case response:
+	case *response:
 		if !p.pooled {
 			p.conn.Close()
 		}
-		if v.Err != "" {
-			return nil, &RemoteError{Msg: v.Err}
+		errMsg, result := v.Err, v.Result
+		putResp(v)
+		if errMsg != "" {
+			return nil, &RemoteError{Msg: errMsg}
 		}
-		return Result(v.Result), nil
+		return Result(result), nil
 	case error:
 		delete(p.pending, id)
 		if !p.pooled {
@@ -244,3 +284,17 @@ func (p *peerConn) call(timeout time.Duration, method string, args []any) (Resul
 
 // Marshal is a helper for handlers that want to return a raw JSON payload.
 func Marshal(v any) (json.RawMessage, error) { return json.Marshal(v) }
+
+// PreEncode canonically encodes a value once for reuse as a call
+// argument, the zero-rework path for arguments that never change (a
+// node's own reference in Chord's notify, Pastry's join). The returned
+// value marshals to exactly the same bytes as v itself, so the wire
+// format is unchanged; if v cannot be encoded it is returned as-is and
+// the call reports the error as before.
+func PreEncode(v any) any {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return v
+	}
+	return json.RawMessage(raw)
+}

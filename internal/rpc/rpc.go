@@ -9,12 +9,19 @@
 // Clients keep a small pool of connections, multiplexing concurrent calls
 // to one destination over a single stream; SetPooling(false) disables the
 // pool for ablation experiments.
+//
+// The message plane is built for throughput: envelopes ride the
+// hand-rolled fast codec in fast.go (byte-identical to encoding/json),
+// argument arrays decode lazily from pooled buffers, and replies queued
+// behind one connection writer are drained in a batch by whichever task
+// got there first. See DESIGN.md ("The message plane").
 package rpc
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
@@ -50,29 +57,91 @@ type response struct {
 	Result json.RawMessage `json:"r,omitempty"`
 }
 
-// Args gives handlers typed access to positional call arguments.
-type Args []json.RawMessage
+// Args gives handlers typed access to positional call arguments. The
+// argument array is decoded lazily: elements are split on first access
+// and unmarshaled only when asked for, so a handler that reads two of
+// five arguments never parses the other three.
+//
+// Args and any raw bytes reached through it are owned by the server and
+// valid only until the handler returns (the backing buffer is pooled).
+// Decode, String and Int all copy, so ordinary use is safe; a handler
+// that wants to retain an argument past its return must decode it.
+type Args struct {
+	l *argList
+}
+
+// NewArgs builds an Args from pre-encoded elements, for invoking a
+// Handler directly (bypassing the network for local shortcuts and
+// tests). The caller keeps ownership of the elements.
+func NewArgs(elems ...json.RawMessage) Args {
+	if len(elems) == 0 {
+		return Args{}
+	}
+	return Args{l: &argList{elems: elems, split: true}}
+}
 
 // Len returns the number of arguments.
-func (a Args) Len() int { return len(a) }
+func (a Args) Len() int {
+	if a.l == nil {
+		return 0
+	}
+	a.l.ensureSplit()
+	return len(a.l.elems)
+}
 
 // Decode unmarshals argument i into v.
 func (a Args) Decode(i int, v any) error {
-	if i < 0 || i >= len(a) {
-		return fmt.Errorf("rpc: argument %d out of range (%d args)", i, len(a))
+	if a.l != nil {
+		a.l.ensureSplit()
 	}
-	return json.Unmarshal(a[i], v)
+	if a.l == nil || i < 0 || i >= len(a.l.elems) {
+		return fmt.Errorf("rpc: argument %d out of range (%d args)", i, a.Len())
+	}
+	return json.Unmarshal(a.l.elems[i], v)
 }
 
-// String returns argument i as a string (empty on mismatch).
+// String returns argument i as a string (empty on mismatch). Plain
+// ASCII strings with no escapes are sliced straight out of the element;
+// anything else (escapes, non-ASCII that json would re-validate) takes
+// the encoding/json path so the semantics cannot diverge.
 func (a Args) String(i int) string {
+	if a.l != nil {
+		a.l.ensureSplit()
+		if i >= 0 && i < len(a.l.elems) {
+			e := a.l.elems[i]
+			if len(e) >= 2 && e[0] == '"' && asciiPlain(e[1:len(e)-1]) && e[len(e)-1] == '"' {
+				return string(e[1 : len(e)-1])
+			}
+		}
+	}
 	var s string
 	a.Decode(i, &s) //nolint:errcheck // zero value on mismatch is the contract
 	return s
 }
 
-// Int returns argument i as an int (zero on mismatch).
+// asciiPlain reports printable ASCII with no quotes or escapes — bytes
+// encoding/json's unquote returns verbatim.
+func asciiPlain(b []byte) bool {
+	for _, c := range b {
+		if c < 0x20 || c >= 0x80 || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// Int returns argument i as an int (zero on mismatch). Integer literals
+// parse without encoding/json.
 func (a Args) Int(i int) int {
+	if a.l != nil {
+		a.l.ensureSplit()
+		if i >= 0 && i < len(a.l.elems) {
+			lex := llenc.Lexer{Data: a.l.elems[i]}
+			if v, ok := lex.Int(); ok && lex.End() {
+				return v
+			}
+		}
+	}
 	var n int
 	a.Decode(i, &n) //nolint:errcheck
 	return n
@@ -90,15 +159,19 @@ func (r Result) Decode(v any) error {
 }
 
 // Handler executes one remote procedure. Handlers run as tasks and may
-// block (issue nested RPCs, sleep, perform I/O).
+// block (issue nested RPCs, sleep, perform I/O). The Args value is only
+// valid until the handler returns; see Args.
 type Handler func(args Args) (any, error)
 
 // Server dispatches incoming calls to registered handlers.
 type Server struct {
-	ctx      *core.AppContext
+	ctx *core.AppContext
+
+	mu       sync.RWMutex // guards handlers: Register may race serving under LiveRuntime
 	handlers map[string]Handler
-	ln       transport.Listener
-	closed   bool
+
+	ln     transport.Listener
+	closed bool
 }
 
 // NewServer returns a server bound to the instance context. The reserved
@@ -109,8 +182,21 @@ func NewServer(ctx *core.AppContext) *Server {
 	return s
 }
 
-// Register installs a handler under name, replacing any previous one.
-func (s *Server) Register(name string, h Handler) { s.handlers[name] = h }
+// Register installs a handler under name, replacing any previous one. It
+// is safe to call while the server is serving.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	s.handlers[name] = h
+	s.mu.Unlock()
+}
+
+// handler looks up a method under the read lock.
+func (s *Server) handler(name string) (Handler, bool) {
+	s.mu.RLock()
+	h, ok := s.handlers[name]
+	s.mu.RUnlock()
+	return h, ok
+}
 
 // Start listens on port (the paper's rpc.server(n.port)) and serves calls
 // until the server or instance is closed.
@@ -154,56 +240,143 @@ func (s *Server) Close() error {
 func (s *Server) serveConn(conn transport.Conn) {
 	defer conn.Close()
 	dec := llenc.NewReader(conn)
-	enc := llenc.NewWriter(conn)
-	wlock := core.NewLock(s.ctx.Runtime())
+	cw := &replyWriter{enc: llenc.NewWriter(conn)}
 	for {
 		payload, err := dec.ReadMessage()
 		if err != nil {
 			return
 		}
-		var req struct {
-			ID     uint64          `json:"id"`
-			Method string          `json:"m"`
-			Args   json.RawMessage `json:"a"`
-		}
-		if err := json.Unmarshal(payload, &req); err != nil {
-			return // framing is broken; drop the connection
-		}
+		var id uint64
+		var h Handler
+		var hok bool
+		var method string
 		var args Args
-		if len(req.Args) > 0 {
-			if err := json.Unmarshal(req.Args, &args); err != nil {
-				s.reply(enc, wlock, response{ID: req.ID, Err: "rpc: malformed arguments"})
-				continue
+		if req, ok := parseRequest(payload); ok {
+			id = req.ID
+			s.mu.RLock()
+			h, hok = s.handlers[string(req.RawMethod)] // non-allocating lookup
+			s.mu.RUnlock()
+			if !hok {
+				method = string(req.RawMethod)
 			}
+			args = newArgsRaw(req.RawArgs)
+		} else {
+			// encoding/json fallback: frames the fast parser declined
+			// (escaped method names, odd whitespace, hostile input).
+			var req struct {
+				ID     uint64          `json:"id"`
+				Method string          `json:"m"`
+				Args   json.RawMessage `json:"a"`
+			}
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return // framing is broken; drop the connection
+			}
+			if len(req.Args) > 0 {
+				var elems []json.RawMessage
+				if err := json.Unmarshal(req.Args, &elems); err != nil {
+					s.reply(cw, response{ID: req.ID, Err: "rpc: malformed arguments"})
+					continue
+				}
+				args = newArgsSplit(elems)
+			}
+			id, method = req.ID, req.Method
+			h, hok = s.handler(method)
 		}
-		h, ok := s.handlers[req.Method]
-		if !ok {
-			s.reply(enc, wlock, response{ID: req.ID, Err: fmt.Sprintf("rpc: unknown method %q", req.Method)})
+		if !hok {
+			args.release()
+			s.reply(cw, response{ID: id, Err: fmt.Sprintf("rpc: unknown method %q", method)})
 			continue
 		}
-		id := req.ID
 		// Handlers run as their own task so they may block; the connection
-		// keeps serving other requests meanwhile.
-		s.ctx.Go(func() {
-			resp := response{ID: id}
-			result, err := h(args)
-			if err != nil {
-				resp.Err = err.Error()
-			} else if result != nil {
-				raw, merr := json.Marshal(result)
-				if merr != nil {
-					resp.Err = "rpc: unserializable result: " + merr.Error()
-				} else {
-					resp.Result = raw
-				}
-			}
-			s.reply(enc, wlock, resp)
-		})
+		// keeps serving other requests meanwhile. The dispatch rides a
+		// pooled job (one closure per pooled object, ever) so steady-state
+		// serving allocates no per-request bookkeeping.
+		j := jobPool.Get().(*reqJob)
+		j.s, j.cw, j.id, j.h, j.args = s, cw, id, h, args
+		s.ctx.Go(j.run)
 	}
 }
 
-func (s *Server) reply(enc *llenc.Writer, wlock *core.Lock, resp response) {
-	wlock.Lock()
-	defer wlock.Unlock()
-	enc.Encode(resp) //nolint:errcheck // a dead conn is detected by the read loop
+// reqJob carries one dispatched request into its handler task.
+type reqJob struct {
+	s    *Server
+	cw   *replyWriter
+	id   uint64
+	h    Handler
+	args Args
+	run  func()
+}
+
+var jobPool sync.Pool
+
+func init() {
+	jobPool.New = func() any {
+		j := &reqJob{}
+		j.run = func() { j.exec() }
+		return j
+	}
+}
+
+func (j *reqJob) exec() {
+	s, cw, id, h, args := j.s, j.cw, j.id, j.h, j.args
+	j.s, j.cw, j.h, j.args = nil, nil, nil, Args{}
+	jobPool.Put(j)
+
+	resp := response{ID: id}
+	result, err := h(args)
+	if err != nil {
+		resp.Err = err.Error()
+	} else if result != nil {
+		raw, merr := json.Marshal(result)
+		if merr != nil {
+			resp.Err = "rpc: unserializable result: " + merr.Error()
+		} else {
+			resp.Result = raw
+		}
+	}
+	// The result is marshaled (copied) above, so the pooled argument
+	// buffer can be recycled even if the handler returned bytes
+	// aliasing it.
+	args.release()
+	s.reply(cw, resp)
+}
+
+// replyWriter batches responses onto one connection. Finishing handlers
+// enqueue under a plain mutex and return; the task that finds the writer
+// idle becomes the flusher and drains everything queued behind it — the
+// same coalescing the controller's pipelined Submit uses. The mutex is
+// never held across Encode (which blocks in virtual time), so enqueuing
+// never parks a task.
+type replyWriter struct {
+	enc *llenc.Writer
+
+	mu       sync.Mutex
+	queue    []response
+	spare    []response // recycled batch backing
+	flushing bool
+}
+
+func (s *Server) reply(cw *replyWriter, resp response) {
+	cw.mu.Lock()
+	cw.queue = append(cw.queue, resp)
+	if cw.flushing {
+		cw.mu.Unlock()
+		return
+	}
+	cw.flushing = true
+	for len(cw.queue) > 0 {
+		batch := cw.queue
+		cw.queue = cw.spare[:0]
+		cw.mu.Unlock()
+		for i := range batch {
+			// A dead conn is detected by the read loop; later frames
+			// just fail the same way.
+			cw.enc.Encode(&batch[i]) //nolint:errcheck
+			batch[i] = response{}    // drop Result references
+		}
+		cw.mu.Lock()
+		cw.spare = batch[:0]
+	}
+	cw.flushing = false
+	cw.mu.Unlock()
 }

@@ -14,8 +14,9 @@ type pipe struct {
 	nw  *Network
 	dst *Host
 
-	segs   [][]byte // delivered, unread segments
-	off    int      // read offset into segs[0]
+	segs   [][]byte // delivered, unread segments; a ring over one backing array
+	head   int      // index of the first unread segment
+	off    int      // read offset into segs[head]
 	eof    bool     // write end closed and EOF delivered
 	err    error    // connection reset
 	frozen bool     // blackholed: drop deliveries, never notify readers
@@ -34,11 +35,21 @@ func (p *pipe) deliverTime(t time.Time) time.Time {
 
 func (p *pipe) deliverData(data []byte) {
 	if p.eof || p.err != nil || p.frozen {
+		p.nw.putBuf(data) // dropped: the payload buffer is free again
 		return
+	}
+	if p.head == len(p.segs) {
+		// Everything delivered so far was consumed: rewind onto the
+		// same backing array instead of appending forever.
+		p.segs = p.segs[:0]
+		p.head = 0
 	}
 	p.segs = append(p.segs, data)
 	p.wakeReader()
 }
+
+// unread reports whether the pipe holds delivered, unconsumed segments.
+func (p *pipe) unread() bool { return p.head < len(p.segs) }
 
 func (p *pipe) deliverEOF() {
 	if p.eof || p.err != nil || p.frozen {
@@ -107,13 +118,15 @@ func (c *conn) SetReadDeadline(t time.Time) error {
 func (c *conn) Read(b []byte) (int, error) {
 	k := c.h.nw.kernel
 	for {
-		if len(c.rd.segs) > 0 {
-			seg := c.rd.segs[0]
+		if c.rd.unread() {
+			seg := c.rd.segs[c.rd.head]
 			n := copy(b, seg[c.rd.off:])
 			c.rd.off += n
 			if c.rd.off == len(seg) {
-				c.rd.segs = c.rd.segs[1:]
+				c.rd.segs[c.rd.head] = nil
+				c.rd.head++
 				c.rd.off = 0
+				c.h.nw.putBuf(seg) // fully consumed: recycle the payload
 			}
 			return n, nil
 		}
@@ -166,7 +179,7 @@ func (c *conn) Write(b []byte) (int, error) {
 	c.h.nw.stats.StreamMsgs++
 	c.h.nw.stats.StreamBytes += uint64(len(b))
 
-	data := make([]byte, len(b))
+	data := c.h.nw.getBuf(len(b))
 	copy(data, b)
 	senderFree, delivered := c.h.nw.sendTimes(c.h, c.peerHost, len(data))
 	delivered = c.wr.deliverTime(delivered)

@@ -51,6 +51,8 @@ func (d *delivery) fire() {
 	case dlvDgram:
 		if dst, ok := d.to.packets[d.port]; ok && !dst.closed && !d.to.down {
 			dst.deliver(dgram{data: d.data, from: d.from})
+		} else {
+			d.nw.putBuf(d.data) // dead port swallows the datagram
 		}
 	}
 	nw := d.nw

@@ -59,7 +59,7 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 		nw.stats.DroppedDgrams++
 		return len(b), nil
 	}
-	data := make([]byte, len(b))
+	data := nw.getBuf(len(b))
 	copy(data, b)
 	_, delivered := nw.sendTimes(p.host, remote, len(data))
 	// Delivery re-checks for a live destination socket at delivery time;
@@ -90,8 +90,10 @@ func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
 		}
 		if len(p.queue) > 0 {
 			d := p.queue[0]
+			p.queue[0] = dgram{}
 			p.queue = p.queue[1:]
 			n := copy(b, d.data)
+			p.host.nw.putBuf(d.data) // copied out: recycle the payload
 			return n, d.from, nil
 		}
 		if !p.deadline.IsZero() && !k.Now().Before(p.deadline) {
@@ -105,6 +107,7 @@ func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
 		switch v := w.Wait().(type) {
 		case dgram:
 			n := copy(b, v.data)
+			p.host.nw.putBuf(v.data)
 			return n, v.from, nil
 		case error:
 			// Our entry in p.waiters is now a stale ref; deliver and
@@ -130,5 +133,8 @@ func (p *packetConn) close() {
 		r.Wake(transport.ErrClosed)
 	}
 	p.waiters = nil
+	for _, d := range p.queue {
+		p.host.nw.putBuf(d.data)
+	}
 	p.queue = nil
 }

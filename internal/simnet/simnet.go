@@ -72,8 +72,38 @@ type Network struct {
 	silent bool // dead hosts blackhole instead of refusing
 
 	freeDlv *delivery // pooled scheduled messages (see delivery.go)
+	freeBuf [][]byte  // pooled payload buffers (see getBuf/putBuf)
 
 	stats Stats
+}
+
+// getBuf returns a payload buffer of length n from the network's free
+// list, growing a recycled buffer when needed. Payload copies are the
+// one per-message allocation the delivery fast path cannot avoid — every
+// stream write and datagram copies its bytes so the sender may reuse its
+// slice — so the copies ride pooled buffers instead: recycled when the
+// reader fully consumes a segment or a delivery is dropped (dead port,
+// frozen pipe). See DESIGN.md for the ownership rules.
+func (nw *Network) getBuf(n int) []byte {
+	if l := len(nw.freeBuf); l > 0 {
+		b := nw.freeBuf[l-1]
+		nw.freeBuf[l-1] = nil
+		nw.freeBuf = nw.freeBuf[:l-1]
+		if cap(b) < n {
+			return make([]byte, n)
+		}
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a payload buffer. The caller must be the buffer's sole
+// owner: segments go back exactly once, when consumed or dropped.
+func (nw *Network) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	nw.freeBuf = append(nw.freeBuf, b)
 }
 
 // Stats aggregates network-level counters, useful in tests and experiment

@@ -14,21 +14,27 @@ import (
 // Durations is a mutable sample of durations.
 type Durations []time.Duration
 
-// Sorted returns a sorted copy.
-func (d Durations) Sorted() Durations {
-	out := make(Durations, len(d))
+// Sorted is an ascending sample: the sort-once view every rank
+// statistic reads from. Converting once and querying many times avoids
+// the repeated O(n log n) the old per-call sorting paid — the experiment
+// harness asks for several percentiles, a CDF and a few thresholds from
+// the same sample.
+type Sorted []time.Duration
+
+// Sorted returns an ascending copy of the sample.
+func (d Durations) Sorted() Sorted {
+	out := make(Sorted, len(d))
 	copy(out, d)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) of the sample
-// using nearest-rank on a sorted copy. It returns 0 for empty samples.
-func (d Durations) Percentile(p float64) time.Duration {
-	if len(d) == 0 {
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank. It returns 0 for empty samples.
+func (s Sorted) Percentile(p float64) time.Duration {
+	if len(s) == 0 {
 		return 0
 	}
-	s := d.Sorted()
 	if p <= 0 {
 		return s[0]
 	}
@@ -40,6 +46,56 @@ func (d Durations) Percentile(p float64) time.Duration {
 		rank = 0
 	}
 	return s[rank]
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) using the
+// floor-index convention idx = ⌊q·n⌋ — the harness's historical rule
+// for its five-number summaries (see experiments.pctiles). It differs
+// from nearest-rank by at most one rank; both live here so the two
+// conventions cannot drift apart in copies.
+func (s Sorted) Quantile(q float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// CDFAt returns the fraction of samples ≤ limit by binary search.
+func (s Sorted) CDFAt(limit time.Duration) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := sort.Search(len(s), func(i int) bool { return s[i] > limit })
+	return float64(n) / float64(len(s))
+}
+
+// CDF returns the sample's CDF evaluated at n evenly spaced points up to
+// the maximum sample.
+func (s Sorted) CDF(points int) []CDFPoint {
+	if len(s) == 0 || points <= 0 {
+		return nil
+	}
+	max := s[len(s)-1]
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		x := time.Duration(int64(max) * int64(i) / int64(points))
+		idx := sort.Search(len(s), func(j int) bool { return s[j] > x })
+		out = append(out, CDFPoint{X: x, Cum: float64(idx) / float64(len(s))})
+	}
+	return out
+}
+
+// Percentile is the one-shot convenience: sort once, query once.
+// Callers needing several statistics should hold the Sorted view.
+func (d Durations) Percentile(p float64) time.Duration {
+	return d.Sorted().Percentile(p)
 }
 
 // Mean returns the arithmetic mean.
@@ -54,7 +110,8 @@ func (d Durations) Mean() time.Duration {
 	return sum / time.Duration(len(d))
 }
 
-// CDFAt returns the fraction of samples ≤ limit.
+// CDFAt returns the fraction of samples ≤ limit with a linear scan (no
+// sorted copy); hold a Sorted view to evaluate many thresholds.
 func (d Durations) CDFAt(limit time.Duration) float64 {
 	if len(d) == 0 {
 		return 0
@@ -74,21 +131,9 @@ type CDFPoint struct {
 	Cum float64 // in [0,1]
 }
 
-// CDF returns the sample's CDF evaluated at n evenly spaced points up to
-// the maximum sample.
+// CDF is the one-shot convenience for Sorted.CDF.
 func (d Durations) CDF(points int) []CDFPoint {
-	if len(d) == 0 || points <= 0 {
-		return nil
-	}
-	s := d.Sorted()
-	max := s[len(s)-1]
-	out := make([]CDFPoint, 0, points)
-	for i := 1; i <= points; i++ {
-		x := time.Duration(int64(max) * int64(i) / int64(points))
-		idx := sort.Search(len(s), func(j int) bool { return s[j] > x })
-		out = append(out, CDFPoint{X: x, Cum: float64(idx) / float64(len(s))})
-	}
-	return out
+	return d.Sorted().CDF(points)
 }
 
 // IntHistogram counts occurrences of small non-negative integers (e.g.

@@ -135,6 +135,68 @@ func TestSortedDoesNotMutate(t *testing.T) {
 	}
 }
 
+// TestSortedViewMatchesOneShot pins the contract that powered the
+// sort-once refactor: every rank statistic on a Sorted view equals its
+// one-shot Durations counterpart, for random samples with ties.
+func TestSortedViewMatchesOneShot(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		var d Durations
+		for _, v := range raw {
+			d = append(d, time.Duration(v%97)*time.Millisecond) // force ties
+		}
+		s := d.Sorted()
+		p := float64(pRaw % 101)
+		if d.Percentile(p) != s.Percentile(p) {
+			return false
+		}
+		limit := time.Duration(pRaw) * time.Millisecond
+		if d.CDFAt(limit) != s.CDFAt(limit) {
+			return false
+		}
+		dp, sp := d.CDF(7), s.CDF(7)
+		if len(dp) != len(sp) {
+			return false
+		}
+		for i := range dp {
+			if dp[i] != sp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileFloorConvention pins the floor-index rule the experiment
+// harness's five-number summaries use (idx = ⌊q·n⌋).
+func TestQuantileFloorConvention(t *testing.T) {
+	var d Durations
+	for i := 1; i <= 100; i++ {
+		d = append(d, time.Duration(i)*time.Millisecond)
+	}
+	s := d.Sorted()
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.05, 6 * time.Millisecond},  // ⌊0.05·100⌋ = 5 → 6th element
+		{0.50, 51 * time.Millisecond}, // differs from nearest-rank P50 by one rank
+		{0.90, 91 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%.2f) = %s, want %s", c.q, got, c.want)
+		}
+	}
+	if (Sorted{}).Quantile(0.5) != 0 || (Sorted{}).Percentile(50) != 0 {
+		t.Error("empty sorted views must be zero")
+	}
+}
+
 func TestFormatRow(t *testing.T) {
 	row := FormatRow("label", time.Second, 3.14159, 42)
 	if len(row) < 28 {
