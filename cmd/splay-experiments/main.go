@@ -14,6 +14,12 @@
 //	splay-experiments -list
 //	splay-experiments -run fig6a [-scale 0.5] [-seed 2009]
 //	splay-experiments -run all -scale 0.2 [-parallel 8]
+//	splay-experiments -run obsplane -live
+//
+// -live streams each experiment's rows to stdout as the simulation
+// produces them instead of buffering per experiment (one experiment at
+// a time, so rows stay ordered): the way to watch a monitored
+// deployment — obsplane's aggregator view — converge in flight.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 2009, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
 	list := flag.Bool("list", false, "list experiments")
+	live := flag.Bool("live", false, "stream rows to stdout as they are produced (serial)")
 	flag.Parse()
 
 	if *list || *run == "" {
@@ -57,20 +64,43 @@ func main() {
 	}
 	start := time.Now()
 
+	printMetrics := func(res *experiments.Result) {
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("metric %-28s %.3f\n", k, res.Metrics[k])
+		}
+	}
+
+	if *live {
+		// Live mode: rows reach stdout the moment the simulation writes
+		// them, so in-flight views (obsplane's aggregator rows) render
+		// while the experiment runs rather than after it.
+		for _, s := range specs {
+			fmt.Printf("=== %s (scale %.2f) ===\n", s.ID, *scale)
+			opt := s.Opt
+			opt.Out = os.Stdout
+			t0 := time.Now()
+			res, err := experiments.Run(s.ID, opt)
+			if err != nil {
+				log.Fatalf("%s: %v", s.ID, err)
+			}
+			printMetrics(res)
+			fmt.Printf("=== %s done in %s ===\n\n", s.ID, time.Since(t0).Round(time.Millisecond))
+		}
+		return
+	}
+
 	print := func(oc experiments.Outcome) {
 		fmt.Printf("=== %s (scale %.2f) ===\n", oc.ID, *scale)
 		if oc.Err != nil {
 			log.Fatalf("%s: %v", oc.ID, oc.Err)
 		}
 		os.Stdout.Write(oc.Output) //nolint:errcheck
-		keys := make([]string, 0, len(oc.Res.Metrics))
-		for k := range oc.Res.Metrics {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Printf("metric %-28s %.3f\n", k, oc.Res.Metrics[k])
-		}
+		printMetrics(oc.Res)
 		fmt.Printf("=== %s done in %s ===\n\n", oc.ID, oc.Elapsed.Round(time.Millisecond))
 	}
 

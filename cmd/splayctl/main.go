@@ -1,14 +1,21 @@
 // Command splayctl runs the SPLAY controller: it accepts daemon
-// connections, exposes the web-services API for job submission, and
-// orchestrates deployments (§3.1).
+// connections, exposes the web-services API for job submission,
+// orchestrates deployments (§3.1), and hosts the observability plane's
+// aggregator so instrumented applications can stream metric reports.
 //
 // Usage:
 //
 //	splayctl [-port 5555] [-http 8080] [-host 127.0.0.1] [-tls]
+//	         [-metrics-port 5556] [-metrics-key splay]
+//	splayctl [-every 2s] watch http://host:8080
 //
 // Submit jobs with the splay CLI or plain HTTP:
 //
 //	curl -X POST localhost:8080/jobs -d '{"app":"chord","nodes":10}'
+//
+// Watch mode polls a running splayctl's /metrics endpoint and renders
+// the aggregator's live population view — the in-flight counterpart of
+// the log collector.
 package main
 
 import (
@@ -18,10 +25,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"github.com/splaykit/splay/internal/controller"
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/livenet"
+	"github.com/splaykit/splay/internal/metrics"
 )
 
 func main() {
@@ -29,7 +38,18 @@ func main() {
 	httpPort := flag.Int("http", 8080, "web-services API port (0 disables)")
 	host := flag.String("host", "127.0.0.1", "advertised controller host")
 	useTLS := flag.Bool("tls", false, "secure daemon connections with TLS")
+	metricsPort := flag.Int("metrics-port", 5556, "metric report port (0 disables the aggregator)")
+	metricsKey := flag.String("metrics-key", "splay", "key metric streams must present")
+	every := flag.Duration("every", 2*time.Second, "watch mode poll interval")
 	flag.Parse()
+
+	if flag.Arg(0) == "watch" {
+		if flag.NArg() < 2 {
+			log.Fatal("splayctl watch: need a controller URL (e.g. http://127.0.0.1:8080)")
+		}
+		watch(flag.Arg(1), *every)
+		return
+	}
 
 	rt := core.NewLiveRuntime(1)
 	node := livenet.NewNode(*host)
@@ -43,6 +63,46 @@ func main() {
 	cfg := controller.DefaultConfig()
 	cfg.Port = *port
 	ctl := controller.New(rt, node, cfg)
+
+	// The observability plane: instrumented applications stream delta
+	// reports here; /metrics serves the merged live view. The
+	// controller's own instruments feed the same aggregator directly
+	// (it is in-process, no stream needed).
+	var agg *metrics.Aggregator
+	if *metricsPort != 0 {
+		reg := metrics.NewRegistry()
+		ctl.SetInstruments(controller.NewInstruments(reg))
+		var err error
+		agg, err = metrics.NewAggregator(node, *metricsPort, func(fn func()) { go fn() })
+		if err != nil {
+			log.Fatalf("splayctl: aggregator: %v", err)
+		}
+		agg.Authorize(*metricsKey)
+		// Bridge the local registry into the aggregate view over
+		// loopback, so /metrics shows controller and application series
+		// through one plane.
+		go func() {
+			rep, err := metrics.DialReporter(node, agg.Addr(), reg,
+				metrics.ReporterConfig{Key: *metricsKey, Node: "ctl"})
+			if err != nil {
+				log.Printf("splayctl: metrics self-report: %v", err)
+				return
+			}
+			for {
+				time.Sleep(5 * time.Second)
+				if err := rep.Flush(); err != nil {
+					// Reconnect keeps the delta state, so the stream
+					// resumes with increments after a transient failure.
+					log.Printf("splayctl: metrics self-report: %v (redialing)", err)
+					if err := rep.Reconnect(); err != nil {
+						log.Printf("splayctl: metrics self-report: %v", err)
+					}
+				}
+			}
+		}()
+		log.Printf("splayctl: metric aggregator on :%d (key %q)", *metricsPort, *metricsKey)
+	}
+
 	if err := ctl.Start(); err != nil {
 		log.Fatalf("splayctl: %v", err)
 	}
@@ -52,6 +112,12 @@ func main() {
 		select {}
 	}
 	mux := http.NewServeMux()
+	if agg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(agg.Snapshot()) //nolint:errcheck
+		})
+	}
 	mux.HandleFunc("/daemons", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]int{"daemons": ctl.Daemons()}) //nolint:errcheck
 	})
@@ -101,6 +167,38 @@ func main() {
 	if err := http.ListenAndServe(fmt.Sprintf(":%d", *httpPort), mux); err != nil {
 		log.Print(err)
 		os.Exit(1)
+	}
+}
+
+// watch polls url/metrics and renders the live population view.
+func watch(url string, every time.Duration) {
+	for {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			log.Fatalf("splayctl watch: %v", err)
+		}
+		var snaps []metrics.SeriesSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snaps)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatalf("splayctl watch: decode: %v", err)
+		}
+		fmt.Printf("%s — %d series\n", time.Now().Format(time.TimeOnly), len(snaps))
+		fmt.Printf("  %-28s %-12s %6s %12s %12s %12s %12s\n",
+			"series", "kind", "nodes", "total/sum", "mean", "p50", "p90")
+		for _, s := range snaps {
+			switch s.Kind {
+			case "counter":
+				fmt.Printf("  %-28s %-12s %6d %12d\n", s.Name, s.Kind, s.Nodes, s.Total)
+			case "gauge":
+				fmt.Printf("  %-28s %-12s %6d %12d\n", s.Name, s.Kind, s.Nodes, s.Sum)
+			default:
+				fmt.Printf("  %-28s %-12s %6d %12d %12.1f %12d %12d\n",
+					s.Name, s.Kind, s.Nodes, s.Count, s.Mean, s.P50, s.P90)
+			}
+		}
+		fmt.Println()
+		time.Sleep(every)
 	}
 }
 

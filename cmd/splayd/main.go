@@ -19,6 +19,7 @@ import (
 	"github.com/splaykit/splay/internal/daemon"
 	"github.com/splaykit/splay/internal/livenet"
 	"github.com/splaykit/splay/internal/logging"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/sandbox"
 	"github.com/splaykit/splay/internal/transport"
 )
@@ -29,6 +30,8 @@ func main() {
 	useTLS := flag.Bool("tls", false, "secure the controller link with TLS")
 	maxSockets := flag.Int("max-sockets", 0, "per-app socket limit (0 = unlimited)")
 	maxTx := flag.Int64("max-tx", 0, "per-app lifetime egress bytes (0 = unlimited)")
+	metricsAddr := flag.String("metrics", "", "aggregator address for metric reports (empty disables)")
+	metricsKey := flag.String("metrics-key", "splay", "key presented to the aggregator")
 	flag.Parse()
 
 	addr, err := transport.ParseAddr(*ctlAddr)
@@ -48,6 +51,42 @@ func main() {
 	cfg.Net = sandbox.NetLimits{MaxSockets: *maxSockets, MaxTxBytes: *maxTx}
 	lg := logging.New(&logging.WriterSink{W: os.Stdout}, *name, cfg.Key, nil)
 	d := daemon.New(rt, node, apps.Default(), cfg, lg)
+
+	// The observability plane: the daemon's own instruments stream to
+	// the controller-side aggregator as batched delta reports.
+	if *metricsAddr != "" {
+		maddr, err := transport.ParseAddr(*metricsAddr)
+		if err != nil {
+			log.Fatalf("splayd: metrics: %v", err)
+		}
+		reg := metrics.NewRegistry()
+		d.SetInstruments(daemon.NewInstruments(reg))
+		go func() {
+			var rep *metrics.Reporter
+			for {
+				var err error
+				rep, err = metrics.DialReporter(node, maddr, reg,
+					metrics.ReporterConfig{Key: *metricsKey, Node: *name})
+				if err == nil {
+					break
+				}
+				log.Printf("splayd: metrics: %v (retrying in 30s)", err)
+				time.Sleep(30 * time.Second)
+			}
+			for {
+				time.Sleep(5 * time.Second)
+				if err := rep.Flush(); err != nil {
+					// Reconnect keeps the delta state: the stream resumes
+					// with increments, never re-shipping lifetime totals.
+					log.Printf("splayd: metrics: %v (redialing)", err)
+					if err := rep.Reconnect(); err != nil {
+						log.Printf("splayd: metrics: %v (retrying in 30s)", err)
+						time.Sleep(30 * time.Second)
+					}
+				}
+			}
+		}()
+	}
 
 	for {
 		if err := d.Connect(addr); err != nil {

@@ -25,8 +25,33 @@ import (
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/ctlproto"
 	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the controller's optional metric set for the
+// observability plane. The zero value disables everything; increments
+// are pure memory operations, so attaching instruments never perturbs
+// schedules.
+type Instruments struct {
+	Frames        *metrics.Counter // command frames written (FramesSent live)
+	Deploys       *metrics.Counter // successful Submits
+	DeployFails   *metrics.Counter
+	DeployLatency *metrics.Histogram // Submit→running, pow2 ns buckets
+	Daemons       *metrics.Gauge     // connected population
+}
+
+// NewInstruments registers the controller's canonical series on reg
+// ("ctl." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Frames:        reg.Counter("ctl.frames"),
+		Deploys:       reg.Counter("ctl.deploys"),
+		DeployFails:   reg.Counter("ctl.deploy_fails"),
+		DeployLatency: reg.Histogram("ctl.deploy_latency_ns", metrics.KindHistPow2),
+		Daemons:       reg.Gauge("ctl.daemons"),
+	}
+}
 
 // Config tunes the controller.
 type Config struct {
@@ -156,6 +181,7 @@ type Controller struct {
 
 	reg       *registry    // sharded daemon sessions
 	framesOut atomic.Int64 // command/answer frames written, for load reporting
+	ins       Instruments
 
 	mu        sync.Mutex // guards jobs/blacklist/stops under LiveRuntime
 	ln        transport.Listener
@@ -284,6 +310,9 @@ func (c *Controller) Stop() {
 	}
 }
 
+// SetInstruments attaches instruments. Call it before Start.
+func (c *Controller) SetInstruments(ins Instruments) { c.ins = ins }
+
 // Daemons returns the connected daemon count.
 func (c *Controller) Daemons() int { return c.reg.count() }
 
@@ -320,11 +349,15 @@ func (c *Controller) serveDaemon(conn transport.Conn) {
 		lastSeen: c.rt.Now(),
 		pending:  make(map[uint64]pendingReply),
 	}
+	// Gauge tracking rides atomic deltas, not Set-after-read: a Set from
+	// a racing connect/disconnect could latch a stale population.
 	if old := c.reg.put(d); old != nil {
 		old.mu.Lock()
 		old.gone = true
 		old.mu.Unlock()
 		old.conn.Close()
+	} else {
+		c.ins.Daemons.Add(1)
 	}
 	c.mu.Lock()
 	blk := append(append([]string(nil), c.cfg.Blacklist...), c.blacklist...)
@@ -355,7 +388,9 @@ func (c *Controller) serveDaemon(conn transport.Conn) {
 	d.gone = true
 	orphans := popPending(d, nil)
 	d.mu.Unlock()
-	c.reg.removeIf(d)
+	if c.reg.removeIf(d) {
+		c.ins.Daemons.Add(-1)
+	}
 	err := fmt.Errorf("controller: daemon %s disconnected", d.name)
 	for _, p := range orphans {
 		p.fn(ctlproto.Msg{}, err)
@@ -388,6 +423,7 @@ func (c *Controller) send(d *daemonSession, m *ctlproto.Msg) error {
 	d.wlock.Lock()
 	defer d.wlock.Unlock()
 	c.framesOut.Add(1)
+	c.ins.Frames.Inc()
 	return d.enc.Encode(m)
 }
 
@@ -505,7 +541,9 @@ func (c *Controller) monitorTick() {
 		if stale {
 			// Long-term disconnection: reset the daemon's state.
 			d.conn.Close()
-			c.reg.removeIf(d)
+			if c.reg.removeIf(d) {
+				c.ins.Daemons.Add(-1)
+			}
 			continue
 		}
 		live = append(live, d)
@@ -538,6 +576,19 @@ func (c *Controller) monitorTick() {
 // round costs one round-trip to the slowest relevant daemon instead of
 // one task (REGISTER) or one serialized call (LIST/START) per daemon.
 func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
+	start := c.rt.Now()
+	job, err := c.submit(spec)
+	if err != nil {
+		c.ins.DeployFails.Inc()
+		return job, err
+	}
+	c.ins.Deploys.Inc()
+	c.ins.DeployLatency.Observe(int64(c.rt.Now().Sub(start)))
+	return job, nil
+}
+
+// submit is Submit's body behind the instrument hooks.
+func (c *Controller) submit(spec JobSpec) (*JobStatus, error) {
 	if spec.Nodes <= 0 {
 		return nil, fmt.Errorf("controller: job needs nodes")
 	}

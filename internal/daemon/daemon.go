@@ -15,9 +15,33 @@ import (
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/ctlproto"
 	"github.com/splaykit/splay/internal/llenc"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/sandbox"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the daemon's optional metric set for the observability
+// plane. The zero value disables everything; increments are pure memory
+// operations, so attaching instruments never perturbs schedules.
+type Instruments struct {
+	Commands    *metrics.Counter // controller commands handled
+	Pings       *metrics.Counter // the PING subset
+	JobsStarted *metrics.Counter
+	JobsStopped *metrics.Counter
+	Jobs        *metrics.Gauge // instances currently running
+}
+
+// NewInstruments registers the daemon's canonical series on reg
+// ("daemon." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Commands:    reg.Counter("daemon.commands"),
+		Pings:       reg.Counter("daemon.pings"),
+		JobsStarted: reg.Counter("daemon.jobs_started"),
+		JobsStopped: reg.Counter("daemon.jobs_stopped"),
+		Jobs:        reg.Gauge("daemon.jobs"),
+	}
+}
 
 // Config is the daemon's local configuration file equivalent.
 type Config struct {
@@ -59,6 +83,7 @@ type Daemon struct {
 	cfg      Config
 	registry *core.Registry
 	log      core.Logger
+	ins      Instruments
 
 	// mu guards the session state: under LiveRuntime every controller
 	// command is handled on its own goroutine, so jobs, the port
@@ -88,6 +113,9 @@ func New(rt core.Runtime, node transport.Node, registry *core.Registry, cfg Conf
 		jobs:     make(map[string]*runningJob),
 	}
 }
+
+// SetInstruments attaches instruments. Call it before Connect.
+func (d *Daemon) SetInstruments(ins Instruments) { d.ins = ins }
 
 // Connected reports whether the controller session is up.
 func (d *Daemon) Connected() bool {
@@ -174,8 +202,10 @@ func (d *Daemon) Close() {
 }
 
 func (d *Daemon) handle(m *ctlproto.Msg) *ctlproto.Msg {
+	d.ins.Commands.Inc()
 	switch m.Type {
 	case ctlproto.TPing:
+		d.ins.Pings.Inc()
 		return &ctlproto.Msg{Type: ctlproto.TAck}
 	case ctlproto.TBlacklist:
 		d.mu.Lock()
@@ -275,6 +305,10 @@ func (d *Daemon) start(job *ctlproto.Job) *ctlproto.Msg {
 	rj.sb = sb
 	rj.inst = core.StartInstance(d.rt, sb, info, d.log, app)
 	rj.starting = false
+	// Gauge update stays under the lock: a Set applied after unlock
+	// could race a concurrent stop and publish a stale count.
+	d.ins.JobsStarted.Inc()
+	d.ins.Jobs.Set(int64(len(d.jobs)))
 	d.mu.Unlock()
 	d.log.Printf("daemon %s: started %s (%s) on port %d", d.cfg.Name, spec.ID, spec.App, port)
 	return &ctlproto.Msg{Type: ctlproto.TAck}
@@ -285,6 +319,8 @@ func (d *Daemon) stopJob(id string) {
 	rj, ok := d.jobs[id]
 	if ok {
 		delete(d.jobs, id)
+		d.ins.JobsStopped.Inc()
+		d.ins.Jobs.Set(int64(len(d.jobs)))
 	}
 	d.mu.Unlock()
 	if !ok {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -285,5 +286,59 @@ func TestCtlplaneDeploys5000Daemons(t *testing.T) {
 	p := pctiles(run.delays)
 	if p[2] <= 0 || run.submit < p[4] {
 		t.Fatalf("implausible deployment times: p50=%v p90=%v submit=%v", p[2], p[4], run.submit)
+	}
+}
+
+// TestObsplaneShape checks the observability plane's small-scale run:
+// every stream reports, the fleet accounting matches, and lookups
+// resolve with Chord's expected route lengths — all read through the
+// aggregator, not from in-process state.
+func TestObsplaneShape(t *testing.T) {
+	t.Parallel()
+	res := run(t, "obsplane", 0.05)
+	if res.Metrics["failed_lookups"] != 0 {
+		t.Errorf("%v lookups failed on a converged ring", res.Metrics["failed_lookups"])
+	}
+	n := res.Metrics["nodes"]
+	if res.Metrics["lookups"] != 2*n {
+		t.Errorf("aggregated %v lookups, want %v", res.Metrics["lookups"], 2*n)
+	}
+	if res.Metrics["jobs_started"] != n {
+		t.Errorf("fleet accounting %v, want %v", res.Metrics["jobs_started"], n)
+	}
+	hops := res.Metrics["mean_hops"]
+	if hops <= 1 || hops > 0.5*log2(n)+1.5 {
+		t.Errorf("mean hops %.2f outside the ½·log₂N envelope", hops)
+	}
+	// ACME-style overhead: the monitoring bill stays at a handful of
+	// frames per node per second (the acceptance bound is "a few").
+	if f := res.Metrics["frames_per_node_s"]; f <= 0 || f > 3 {
+		t.Errorf("report load %.3f frames/node/s outside (0, 3]", f)
+	}
+}
+
+// TestObsplane5000Daemons pins the headline capability: instrumented
+// Chord deployed onto a 5,000-daemon simulated testbed with every
+// instance streaming to the aggregator, monitoring overhead bounded.
+func TestObsplane5000Daemons(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full-population observability run")
+	}
+	run, err := runObsplane(io.Discard, 5000, 3000, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.lookups != 6000 || run.failed != 0 {
+		t.Fatalf("lookups %v (failed %v), want 6000/0", run.lookups, run.failed)
+	}
+	if run.jobsStarted != 3000 {
+		t.Fatalf("fleet accounting %v, want 3000", run.jobsStarted)
+	}
+	if run.meanHops <= 1 || run.meanHops > 0.5*log2(3000)+1.5 {
+		t.Fatalf("mean hops %.2f outside the ½·log₂N envelope", run.meanHops)
+	}
+	if run.framesPerNodeSec <= 0 || run.framesPerNodeSec > 3 {
+		t.Fatalf("report load %.3f frames/node/s outside (0, 3]", run.framesPerNodeSec)
 	}
 }

@@ -46,9 +46,9 @@ func readGolden(t *testing.T) map[string][]string {
 	return perID
 }
 
-// TestGoldenBitForBit re-runs all eighteen experiments (sharded across the
-// CPU via RunParallel) and compares every metric bit-for-bit against the
-// pre-rewrite golden record.
+// TestGoldenBitForBit re-runs all nineteen experiments (sharded across
+// the CPU via RunParallel) and compares every metric bit-for-bit against
+// the pre-rewrite golden record.
 func TestGoldenBitForBit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
@@ -60,7 +60,7 @@ func TestGoldenBitForBit(t *testing.T) {
 		"fig7a": 0.15, "fig7b": 0.08, "fig7c": 0.05,
 		"fig8": 1, "fig9": 0.08, "fig10": 0.05, "fig11": 0.05,
 		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
-		"ctlplane": 0.05, "lookup10k": 0.02,
+		"ctlplane": 0.05, "lookup10k": 0.02, "obsplane": 0.05,
 	}
 	specs := make([]Spec, 0, len(scales))
 	for _, id := range IDs() {

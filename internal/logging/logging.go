@@ -92,11 +92,25 @@ func (l *Logger) SetLevel(min Level) { l.min = min }
 // SetEnabled toggles logging entirely (the paper's dynamic enable/disable).
 func (l *Logger) SetEnabled(on bool) { l.off = !on }
 
-// Log emits one record at the given level.
+// Enabled reports whether a record at level would be emitted — the
+// paper's dynamic enable/disable check, factored out so the disabled
+// and level-filtered paths cost one inlined branch and no allocations
+// (no Sprintf, no Record, nothing boxed for the sink).
+func (l *Logger) Enabled(level Level) bool {
+	return !l.off && level >= l.min && l.sink != nil
+}
+
+// Log emits one record at the given level. The guard runs before any
+// formatting work, so a filtered call is free (see TestDisabledLogAllocs).
 func (l *Logger) Log(level Level, format string, args ...any) {
-	if l.off || level < l.min || l.sink == nil {
+	if !l.Enabled(level) {
 		return
 	}
+	l.emit(level, format, args)
+}
+
+// emit is Log's slow path: format, stamp and hand to the sink.
+func (l *Logger) emit(level Level, format string, args []any) {
 	l.sink.Emit(Record{ //nolint:errcheck // logging is best effort
 		Key: l.key, Time: l.clock(), Level: level,
 		Node: l.node, Msg: fmt.Sprintf(format, args...),
@@ -112,9 +126,21 @@ func (l *Logger) Warnf(format string, args ...any)  { l.Log(Warn, format, args..
 func (l *Logger) Errorf(format string, args ...any) { l.Log(Error, format, args...) }
 
 // NetSink streams records to a collector over a transport connection.
+// Emits are batched per connection the way the RPC server batches its
+// replies: emitters enqueue under a plain mutex and return, and the
+// task that finds the writer idle becomes the flusher, draining
+// everything queued behind it. The mutex is never held across Encode
+// (which blocks in virtual time), so logging never parks the caller
+// behind another task's network write.
 type NetSink struct {
 	enc *llenc.Writer
 	c   transport.Conn
+
+	mu       sync.Mutex
+	queue    []Record
+	spare    []Record // recycled batch backing
+	flushing bool
+	err      error // first write error; the stream is dead after one
 }
 
 // DialCollector connects to a collector.
@@ -126,8 +152,43 @@ func DialCollector(node transport.Node, addr transport.Addr, timeout time.Durati
 	return &NetSink{enc: llenc.NewWriter(c), c: c}, nil
 }
 
-// Emit implements Sink.
-func (s *NetSink) Emit(r Record) error { return s.enc.Encode(r) }
+// Emit implements Sink. A nil return means the record was queued; a
+// failed stream reports its first error to every later Emit.
+func (s *NetSink) Emit(r Record) error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	s.queue = append(s.queue, r)
+	if s.flushing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.flushing = true
+	for len(s.queue) > 0 && s.err == nil {
+		batch := s.queue
+		s.queue = s.spare[:0]
+		s.mu.Unlock()
+		var err error
+		for i := range batch {
+			if err == nil {
+				err = s.enc.Encode(&batch[i])
+			}
+			batch[i] = Record{} // drop string references
+		}
+		s.mu.Lock()
+		if err != nil && s.err == nil {
+			s.err = err
+		}
+		s.spare = batch[:0]
+	}
+	s.flushing = false
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
 
 // Close closes the collector connection.
 func (s *NetSink) Close() error { return s.c.Close() }

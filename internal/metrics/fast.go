@@ -1,0 +1,396 @@
+package metrics
+
+import (
+	"github.com/splaykit/splay/internal/llenc"
+)
+
+// Fast-path JSON codec for Report, the metrics plane's only frame
+// type, carrying the same contract as the rpc/ctlproto codecs: the
+// encoding is byte-for-byte identical to encoding/json's output for
+// this struct (field order, omitempty rules, HTML escaping), and the
+// parser either reproduces encoding/json's result exactly or declines
+// — leaving the receiver untouched — so the caller falls back and the
+// wire format can never diverge. TestReportCodecMatchesEncodingJSON
+// and the fuzz targets check both directions differentially. A
+// steady-state report is almost entirely small integers, so the fast
+// path removes reflection from the one frame every instrumented node
+// emits continuously.
+
+// AppendJSON implements llenc.FastMarshaler. On success the appended
+// bytes equal json.Marshal(r); on false buf is returned with its
+// original length.
+func (r *Report) AppendJSON(buf []byte) ([]byte, bool) {
+	if !llenc.JSONSafe(r.Key) || !llenc.JSONSafe(r.Node) {
+		return buf, false
+	}
+	for i := range r.Defs {
+		if !llenc.JSONSafe(r.Defs[i].Name) {
+			return buf, false
+		}
+	}
+	b := append(buf, `{"key":`...)
+	b = llenc.AppendJSONString(b, r.Key)
+	if r.Node != "" {
+		b = append(b, `,"node":`...)
+		b = llenc.AppendJSONString(b, r.Node)
+	}
+	b = append(b, `,"seq":`...)
+	b = llenc.AppendUint(b, r.Seq)
+	if len(r.Defs) > 0 {
+		b = append(b, `,"defs":[`...)
+		for i, d := range r.Defs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"i":`...)
+			b = llenc.AppendInt(b, int64(d.ID))
+			b = append(b, `,"n":`...)
+			b = llenc.AppendJSONString(b, d.Name)
+			b = append(b, `,"k":`...)
+			b = llenc.AppendUint(b, uint64(d.Kind))
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(r.C) > 0 {
+		b = append(b, `,"c":[`...)
+		for i, d := range r.C {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"i":`...)
+			b = llenc.AppendInt(b, int64(d.ID))
+			b = append(b, `,"d":`...)
+			b = llenc.AppendUint(b, d.D)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(r.G) > 0 {
+		b = append(b, `,"g":[`...)
+		for i, g := range r.G {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"i":`...)
+			b = llenc.AppendInt(b, int64(g.ID))
+			b = append(b, `,"v":`...)
+			b = llenc.AppendInt(b, g.V)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if len(r.H) > 0 {
+		b = append(b, `,"h":[`...)
+		for i := range r.H {
+			h := &r.H[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"i":`...)
+			b = llenc.AppendInt(b, int64(h.ID))
+			b = append(b, `,"b":`...)
+			if h.B == nil {
+				b = append(b, "null"...)
+			} else {
+				b = append(b, '[')
+				for j, v := range h.B {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = llenc.AppendUint(b, v)
+				}
+				b = append(b, ']')
+			}
+			if h.S != 0 {
+				b = append(b, `,"s":`...)
+				b = llenc.AppendInt(b, h.S)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}'), true
+}
+
+// ParseJSON implements llenc.FastUnmarshaler: a decline-don't-guess
+// parser for the exact shape the fast encoder (and encoding/json on
+// this struct) produces. Escape sequences, unknown keys, floats and
+// out-of-range integers all report false with r untouched, and the
+// caller retries with encoding/json.
+func (r *Report) ParseJSON(data []byte) bool {
+	p := reportParser{Lexer: llenc.Lexer{Data: data}}
+	var out Report
+	if !p.parseReport(&out) || !p.End() {
+		return false
+	}
+	*r = out
+	return true
+}
+
+type reportParser struct {
+	llenc.Lexer
+}
+
+func (p *reportParser) parseReport(out *Report) bool {
+	p.SkipWS()
+	if !p.Consume('{') {
+		return false
+	}
+	p.SkipWS()
+	if p.Consume('}') {
+		return true
+	}
+	for {
+		p.SkipWS()
+		key, ok := p.RawString()
+		if !ok {
+			return false
+		}
+		p.SkipWS()
+		if !p.Consume(':') {
+			return false
+		}
+		p.SkipWS()
+		switch string(key) {
+		case "key":
+			out.Key, ok = p.String()
+		case "node":
+			out.Node, ok = p.String()
+		case "seq":
+			out.Seq, ok = p.Uint()
+		case "defs":
+			out.Defs, ok = p.parseDefs()
+		case "c":
+			out.C, ok = p.parseDeltas()
+		case "g":
+			out.G, ok = p.parseGauges()
+		case "h":
+			out.H, ok = p.parseHists()
+		default:
+			return false
+		}
+		if !ok {
+			return false
+		}
+		p.SkipWS()
+		if p.Consume(',') {
+			continue
+		}
+		return p.Consume('}')
+	}
+}
+
+// openArray consumes '[' and reports emptiness; done is true when the
+// array closed immediately.
+func (p *reportParser) openArray() (done, ok bool) {
+	if !p.Consume('[') {
+		return false, false
+	}
+	p.SkipWS()
+	if p.Consume(']') {
+		return true, true
+	}
+	return false, true
+}
+
+// closeElem consumes the separator after an array element; done is
+// true at ']'.
+func (p *reportParser) closeElem() (done, ok bool) {
+	p.SkipWS()
+	if p.Consume(',') {
+		return false, true
+	}
+	return true, p.Consume(']')
+}
+
+func (p *reportParser) parseDefs() ([]Def, bool) {
+	done, ok := p.openArray()
+	if !ok {
+		return nil, false
+	}
+	out := []Def{}
+	for !done {
+		p.SkipWS()
+		var d Def
+		if !p.parseObj(func(key []byte) bool {
+			switch string(key) {
+			case "i":
+				d.ID, ok = p.Int()
+			case "n":
+				d.Name, ok = p.String()
+			case "k":
+				var k uint64
+				k, ok = p.Uint()
+				if k > 255 {
+					return false // uint8 overflow: encoding/json rejects
+				}
+				d.Kind = Kind(k)
+			default:
+				return false
+			}
+			return ok
+		}) {
+			return nil, false
+		}
+		out = append(out, d)
+		if done, ok = p.closeElem(); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func (p *reportParser) parseDeltas() ([]Delta, bool) {
+	done, ok := p.openArray()
+	if !ok {
+		return nil, false
+	}
+	out := []Delta{}
+	for !done {
+		p.SkipWS()
+		var d Delta
+		if !p.parseObj(func(key []byte) bool {
+			switch string(key) {
+			case "i":
+				d.ID, ok = p.Int()
+			case "d":
+				d.D, ok = p.Uint()
+			default:
+				return false
+			}
+			return ok
+		}) {
+			return nil, false
+		}
+		out = append(out, d)
+		if done, ok = p.closeElem(); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func (p *reportParser) parseGauges() ([]GaugeVal, bool) {
+	done, ok := p.openArray()
+	if !ok {
+		return nil, false
+	}
+	out := []GaugeVal{}
+	for !done {
+		p.SkipWS()
+		var g GaugeVal
+		if !p.parseObj(func(key []byte) bool {
+			switch string(key) {
+			case "i":
+				g.ID, ok = p.Int()
+			case "v":
+				var v int
+				v, ok = p.Int()
+				g.V = int64(v)
+			default:
+				return false
+			}
+			return ok
+		}) {
+			return nil, false
+		}
+		out = append(out, g)
+		if done, ok = p.closeElem(); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func (p *reportParser) parseHists() ([]HistDelta, bool) {
+	done, ok := p.openArray()
+	if !ok {
+		return nil, false
+	}
+	out := []HistDelta{}
+	for !done {
+		p.SkipWS()
+		var h HistDelta
+		if !p.parseObj(func(key []byte) bool {
+			switch string(key) {
+			case "i":
+				h.ID, ok = p.Int()
+			case "b":
+				h.B, ok = p.parseUints()
+			case "s":
+				var v int
+				v, ok = p.Int()
+				h.S = int64(v)
+			default:
+				return false
+			}
+			return ok
+		}) {
+			return nil, false
+		}
+		out = append(out, h)
+		if done, ok = p.closeElem(); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// parseUints parses a []uint64, accepting null as the nil slice the
+// way encoding/json does.
+func (p *reportParser) parseUints() ([]uint64, bool) {
+	if p.Pos+4 <= len(p.Data) && string(p.Data[p.Pos:p.Pos+4]) == "null" {
+		p.Pos += 4
+		return nil, true
+	}
+	done, ok := p.openArray()
+	if !ok {
+		return nil, false
+	}
+	out := []uint64{}
+	for !done {
+		p.SkipWS()
+		v, ok := p.Uint()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+		if done, ok = p.closeElem(); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// parseObj parses one {"k":v,...} object, dispatching each key to
+// field. A false from field declines the whole parse.
+func (p *reportParser) parseObj(field func(key []byte) bool) bool {
+	if !p.Consume('{') {
+		return false
+	}
+	p.SkipWS()
+	if p.Consume('}') {
+		return true
+	}
+	for {
+		p.SkipWS()
+		key, ok := p.RawString()
+		if !ok {
+			return false
+		}
+		p.SkipWS()
+		if !p.Consume(':') {
+			return false
+		}
+		p.SkipWS()
+		if !field(key) {
+			return false
+		}
+		p.SkipWS()
+		if p.Consume(',') {
+			continue
+		}
+		return p.Consume('}')
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+// Report is one frame of the metrics wire protocol: everything that
+// changed on a node since its previous report, llenc-framed and
+// delta-encoded. Counters ship the increment since the last report,
+// gauges ship their absolute value when it moved, histograms ship
+// sparse (bucket, increment) pairs plus the sum delta. Instrument
+// names travel once per stream as a dictionary (Defs) the first time a
+// report mentions them; every later reference is the dense id, so a
+// steady-state frame is a handful of small integers.
+//
+// The aggregator authenticates streams exactly like the paper's log
+// collector: the first report must present a key the controller
+// authorized, and a stream that stops presenting it is dropped.
+type Report struct {
+	Key  string      `json:"key"`
+	Node string      `json:"node,omitempty"`
+	Seq  uint64      `json:"seq"`
+	Defs []Def       `json:"defs,omitempty"`
+	C    []Delta     `json:"c,omitempty"`
+	G    []GaugeVal  `json:"g,omitempty"`
+	H    []HistDelta `json:"h,omitempty"`
+}
+
+// Def introduces instrument id i with its name and kind.
+type Def struct {
+	ID   int    `json:"i"`
+	Name string `json:"n"`
+	Kind Kind   `json:"k"`
+}
+
+// Delta is a counter increment since the previous report.
+type Delta struct {
+	ID int    `json:"i"`
+	D  uint64 `json:"d"`
+}
+
+// GaugeVal is a gauge's absolute value at report time.
+type GaugeVal struct {
+	ID int   `json:"i"`
+	V  int64 `json:"v"`
+}
+
+// HistDelta is a histogram's sparse bucket increments: B holds
+// flattened (bucket index, count increment) pairs, S the sum increment.
+type HistDelta struct {
+	ID int      `json:"i"`
+	B  []uint64 `json:"b"`
+	S  int64    `json:"s,omitempty"`
+}
+
+// histState remembers a histogram's last-reported totals.
+type histState struct {
+	buckets [NumBuckets]uint64
+	sum     int64
+	pairs   []uint64 // reused backing for HistDelta.B
+}
+
+// instrState remembers one instrument's last-reported value.
+type instrState struct {
+	c uint64
+	g int64
+	h *histState
+}
+
+// deltaState tracks what a stream has already shipped: which
+// dictionary entries went out and every instrument's last-reported
+// totals. One deltaState belongs to exactly one stream (reports carry
+// increments, so streams cannot share it).
+type deltaState struct {
+	defsSent int
+	last     []instrState
+}
+
+// appendDelta fills rep with everything that changed in reg since st's
+// last committed report and reports whether the frame carries
+// anything. It does NOT advance st — the caller commits with
+// commitDelta only once the frame is safely on the wire, so a failed
+// encode keeps the deltas for the next flush instead of silently
+// dropping that period. The report's slices are reused across calls;
+// HistDelta.B aliases st-owned scratch, so rep must be encoded (and
+// committed or abandoned) before the next call.
+func appendDelta(reg *Registry, st *deltaState, rep *Report) bool {
+	instrs := reg.snapshot()
+	rep.Defs, rep.C, rep.G, rep.H = rep.Defs[:0], rep.C[:0], rep.G[:0], rep.H[:0]
+	for len(st.last) < len(instrs) {
+		st.last = append(st.last, instrState{})
+	}
+	for id, in := range instrs {
+		if id >= st.defsSent {
+			rep.Defs = append(rep.Defs, Def{ID: id, Name: in.name, Kind: in.kind})
+		}
+		s := &st.last[id]
+		switch in.kind {
+		case KindCounter:
+			if d := in.c.Total() - s.c; d != 0 {
+				rep.C = append(rep.C, Delta{ID: id, D: d})
+			}
+		case KindGauge:
+			if v := in.g.Value(); v != s.g {
+				rep.G = append(rep.G, GaugeVal{ID: id, V: v})
+			}
+		default: // histograms
+			if s.h == nil {
+				s.h = &histState{}
+			}
+			hs := s.h
+			pairs := hs.pairs[:0]
+			for b := range in.h.buckets {
+				if d := in.h.buckets[b].Load() - hs.buckets[b]; d != 0 {
+					pairs = append(pairs, uint64(b), d)
+				}
+			}
+			hs.pairs = pairs
+			if len(pairs) > 0 {
+				rep.H = append(rep.H, HistDelta{ID: id, B: pairs, S: in.h.Sum() - hs.sum})
+			}
+		}
+	}
+	return len(rep.C)+len(rep.G)+len(rep.H) > 0 || len(rep.Defs) > 0
+}
+
+// commitDelta applies an encoded report back onto st: the reported
+// deltas — not re-read instrument totals, which other tasks may have
+// advanced meanwhile — become the new last-reported values.
+func commitDelta(st *deltaState, rep *Report) {
+	for _, c := range rep.C {
+		st.last[c.ID].c += c.D
+	}
+	for _, g := range rep.G {
+		st.last[g.ID].g = g.V
+	}
+	for _, h := range rep.H {
+		hs := st.last[h.ID].h
+		for i := 0; i+1 < len(h.B); i += 2 {
+			hs.buckets[h.B[i]] += h.B[i+1]
+		}
+		hs.sum += h.S
+	}
+	for _, d := range rep.Defs {
+		if d.ID >= st.defsSent {
+			st.defsSent = d.ID + 1
+		}
+	}
+}

@@ -13,9 +13,32 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the protocol's optional metric set for the
+// observability plane. The zero value disables everything; increments
+// are pure memory operations, so attaching instruments never perturbs
+// simulation schedules.
+type Instruments struct {
+	Pieces      *metrics.Counter   // pieces received
+	PieceBytes  *metrics.Counter   // payload bytes received
+	Completions *metrics.Counter   // peers that finished the file
+	PieceSize   *metrics.Histogram // received piece sizes, pow2 buckets
+}
+
+// NewInstruments registers the protocol's canonical series on reg
+// ("bt." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Pieces:      reg.Counter("bt.pieces"),
+		PieceBytes:  reg.Counter("bt.piece_bytes"),
+		Completions: reg.Counter("bt.completions"),
+		PieceSize:   reg.Histogram("bt.piece_size", metrics.KindHistPow2),
+	}
+}
 
 // Torrent describes the content being swarmed.
 type Torrent struct {
@@ -120,6 +143,7 @@ type Peer struct {
 
 	client *rpc.Client
 	server *rpc.Server
+	ins    Instruments
 	stops  []func()
 
 	// CompletedAt is non-zero once the peer holds every piece.
@@ -149,6 +173,9 @@ func NewPeer(ctx *core.AppContext, torrent Torrent, tracker transport.Addr, seed
 	p.client.Timeout = cfg.RPCTimeout
 	return p
 }
+
+// SetInstruments attaches instruments to the peer.
+func (p *Peer) SetInstruments(ins Instruments) { p.ins = ins }
 
 // Complete reports whether the peer holds all pieces.
 func (p *Peer) Complete() bool { return p.pieces == p.torrent.NumPieces() }
@@ -355,8 +382,12 @@ func (p *Peer) onPiece(idx, size int, from *remotePeer) {
 	p.pieces++
 	from.downloaded += size
 	p.Downloaded += size
+	p.ins.Pieces.Inc()
+	p.ins.PieceBytes.Add(uint64(size))
+	p.ins.PieceSize.Observe(int64(size))
 	if p.Complete() && p.CompletedAt.IsZero() {
 		p.CompletedAt = p.ctx.Now()
+		p.ins.Completions.Inc()
 	}
 	// Advertise availability.
 	for _, rp := range p.peers {

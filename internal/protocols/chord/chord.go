@@ -15,10 +15,39 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/ring"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the protocol's optional metric set for the
+// observability plane: live counterparts of Stats plus route-length
+// and latency distributions. The zero value disables everything;
+// increments are pure memory operations, so attaching instruments
+// never perturbs simulation schedules (the fig6/lookup10k goldens run
+// uninstrumented and stay bit-identical).
+type Instruments struct {
+	Lookups       *metrics.Counter
+	FailedLookups *metrics.Counter
+	Forwarded     *metrics.Counter
+	Retries       *metrics.Counter   // fault-tolerant re-routes after a failed hop
+	Hops          *metrics.Histogram // route length, linear buckets
+	Latency       *metrics.Histogram // lookup wall time, pow2 ns buckets
+}
+
+// NewInstruments registers the protocol's canonical series on reg
+// ("chord." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Lookups:       reg.Counter("chord.lookups"),
+		FailedLookups: reg.Counter("chord.failed_lookups"),
+		Forwarded:     reg.Counter("chord.forwarded"),
+		Retries:       reg.Counter("chord.retries"),
+		Hops:          reg.Histogram("chord.hops", metrics.KindHistLinear),
+		Latency:       reg.Histogram("chord.lookup_latency_ns", metrics.KindHistPow2),
+	}
+}
 
 // Config parameterizes a Chord node.
 type Config struct {
@@ -119,6 +148,8 @@ type Node struct {
 
 	refresh uint // next finger to refresh (paper's refresh variable)
 	stats   Stats
+	ins     Instruments
+	rpcIns  rpc.Instruments
 	stops   []func()
 }
 
@@ -172,10 +203,24 @@ func (n *Node) Predecessor() NodeRef { return n.pred }
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// SetInstruments attaches instruments to the node.
+func (n *Node) SetInstruments(ins Instruments) { n.ins = ins }
+
+// SetRPCInstruments attaches instruments to the node's message plane:
+// the RPC client immediately and the server when Start runs.
+func (n *Node) SetRPCInstruments(ins rpc.Instruments) {
+	n.rpcIns = ins
+	n.client.SetInstruments(ins)
+	if n.server != nil {
+		n.server.SetInstruments(ins)
+	}
+}
+
 // Start registers the RPC handlers and serves on the node's port
 // (Listing 3: rpc.server(n.port)).
 func (n *Node) Start() error {
 	s := rpc.NewServer(n.ctx)
+	s.SetInstruments(n.rpcIns)
 	s.Register("find_successor", n.handleFindSuccessor)
 	s.Register("predecessor", n.handlePredecessor)
 	s.Register("notify", n.handleNotify)
@@ -463,6 +508,10 @@ func (n *Node) findSuccessor(id uint64, hops int) (findResult, error) {
 			n0 = succ
 		}
 		n.stats.Forwarded++
+		n.ins.Forwarded.Inc()
+		if attempt > 0 {
+			n.ins.Retries.Inc()
+		}
 		res, err := n.client.Call(n0.Addr, "find_successor", id, hops+1)
 		if err != nil {
 			lastErr = err
@@ -503,10 +552,15 @@ func (n *Node) closestPreceding(id uint64) NodeRef {
 // latency — the measurement §5.2 performs 50 times per node.
 func (n *Node) Lookup(key uint64) (LookupResult, error) {
 	n.stats.Lookups++
+	n.ins.Lookups.Inc()
 	start := n.ctx.Now()
 	res, err := n.findSuccessor(n.space.Fold(key), 0)
 	if err != nil {
+		n.ins.FailedLookups.Inc()
 		return LookupResult{}, err
 	}
-	return LookupResult{Node: res.Node, Hops: res.Hops, RTT: n.ctx.Now().Sub(start)}, nil
+	rtt := n.ctx.Now().Sub(start)
+	n.ins.Hops.Observe(int64(res.Hops))
+	n.ins.Latency.Observe(int64(rtt))
+	return LookupResult{Node: res.Node, Hops: res.Hops, RTT: rtt}, nil
 }

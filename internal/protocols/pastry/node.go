@@ -6,9 +6,34 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the protocol's optional metric set for the
+// observability plane. The zero value disables everything; increments
+// are pure memory operations, so attaching instruments never perturbs
+// simulation schedules.
+type Instruments struct {
+	Routes     *metrics.Counter
+	RouteFails *metrics.Counter
+	Forwards   *metrics.Counter
+	Hops       *metrics.Histogram // route length, linear buckets
+	Latency    *metrics.Histogram // route wall time, pow2 ns buckets
+}
+
+// NewInstruments registers the protocol's canonical series on reg
+// ("pastry." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Routes:     reg.Counter("pastry.routes"),
+		RouteFails: reg.Counter("pastry.route_fails"),
+		Forwards:   reg.Counter("pastry.forwards"),
+		Hops:       reg.Histogram("pastry.hops", metrics.KindHistLinear),
+		Latency:    reg.Histogram("pastry.route_latency_ns", metrics.KindHistPow2),
+	}
+}
 
 // NodeRef names a Pastry node.
 type NodeRef struct {
@@ -83,8 +108,12 @@ type Node struct {
 	server  *rpc.Server
 	selfArg any // self pre-encoded once for join/announce calls
 	stats   Stats
+	ins     Instruments
 	stops   []func()
 }
+
+// SetInstruments attaches instruments to the node.
+func (n *Node) SetInstruments(ins Instruments) { n.ins = ins }
 
 // New creates a node bound to ctx; its address is ctx.Job.Me.
 func New(ctx *core.AppContext, cfg Config) *Node {
@@ -364,6 +393,7 @@ func (n *Node) route(key ID, hops int) (routeResult, error) {
 			return routeResult{Root: n.self, Hops: hops}, nil
 		}
 		n.stats.Forwards++
+		n.ins.Forwards.Inc()
 		res, err := n.client.Call(next.Addr, "route", key, hops+1)
 		if err != nil {
 			n.suspect(next.Addr)
@@ -382,13 +412,18 @@ func (n *Node) route(key ID, hops int) (routeResult, error) {
 // and latency — the measurement behind Figs. 7, 9, 10 and 11.
 func (n *Node) Route(key ID) (RouteResult, error) {
 	n.stats.Routes++
+	n.ins.Routes.Inc()
 	start := n.ctx.Now()
 	rr, err := n.route(key, 0)
 	if err != nil {
 		n.stats.RouteFails++
+		n.ins.RouteFails.Inc()
 		return RouteResult{}, err
 	}
-	return RouteResult{Root: rr.Root, Hops: rr.Hops, RTT: n.ctx.Now().Sub(start)}, nil
+	rtt := n.ctx.Now().Sub(start)
+	n.ins.Hops.Observe(int64(rr.Hops))
+	n.ins.Latency.Observe(int64(rtt))
+	return RouteResult{Root: rr.Root, Hops: rr.Hops, RTT: rtt}, nil
 }
 
 func (n *Node) handleLeafset(rpc.Args) (any, error) {

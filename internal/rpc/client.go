@@ -24,8 +24,10 @@ type Client struct {
 	// level (the call then fails by timeout).
 	DropRate float64
 
-	pooling bool
-	peers   map[transport.Addr]*peerConn
+	pooling  bool
+	peers    map[transport.Addr]*peerConn
+	ins      Instruments
+	redialed map[transport.Addr]bool // dial-once memory behind Redials
 }
 
 // NewClient returns a client with the paper's default two-minute timeout
@@ -50,13 +52,30 @@ func (c *Client) CallTimeout(to transport.Addr, timeout time.Duration, method st
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	c.ins.Calls.Inc()
 	if c.DropRate > 0 && c.ctx.Rand().Float64() < c.DropRate {
 		// Simulated loss: the request vanishes and the caller times out.
 		c.ctx.Sleep(timeout)
+		c.ins.Errors.Inc()
+		c.ins.Timeouts.Inc()
 		return nil, ErrTimeout
 	}
 	// The timeout budget covers the whole call, dialing included.
 	start := c.ctx.Now()
+	res, err := c.callInstrumented(to, timeout, start, method, args)
+	if err != nil {
+		c.ins.Errors.Inc()
+		if err == ErrTimeout {
+			c.ins.Timeouts.Inc()
+		}
+		return nil, err
+	}
+	c.ins.Latency.Observe(int64(c.ctx.Now().Sub(start)))
+	return res, nil
+}
+
+// callInstrumented is CallTimeout's body behind the instrument hooks.
+func (c *Client) callInstrumented(to transport.Addr, timeout time.Duration, start time.Time, method string, args []any) (Result, error) {
 	pc, err := c.peer(to, timeout)
 	if err != nil {
 		return nil, err
@@ -110,6 +129,17 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 	}
 	pc = newPeerConn(c, to, true)
 	c.peers[to] = pc
+	if c.ins.Redials != nil {
+		// Retry accounting: a second dial to the same destination means
+		// the pooled peer died since last use.
+		if c.redialed == nil {
+			c.redialed = make(map[transport.Addr]bool)
+		}
+		if c.redialed[to] {
+			c.ins.Redials.Inc()
+		}
+		c.redialed[to] = true
+	}
 	pc.dial(timeout)
 	if pc.err != nil {
 		return nil, pc.err
@@ -153,6 +183,7 @@ func (p *peerConn) dial(timeout time.Duration) {
 		p.fail(fmt.Errorf("rpc: dial %s: %w", p.to, err))
 		return
 	}
+	conn = p.client.ins.meter(conn)
 	p.conn = conn
 	p.client.ctx.Track(conn)
 	p.enc = llenc.NewWriter(conn)

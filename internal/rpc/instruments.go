@@ -1,0 +1,75 @@
+package rpc
+
+import (
+	"github.com/splaykit/splay/internal/metrics"
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// Instruments is the RPC library's optional metric set for the
+// observability plane. The zero value (all nil) is the disabled
+// configuration: every hook below degrades to a nil-receiver no-op, so
+// uninstrumented clients and servers pay only dead branches.
+// Instrument increments touch only memory — never the scheduler or any
+// seeded randomness — so attaching instruments leaves simulation
+// schedules bit-identical.
+type Instruments struct {
+	Calls    *metrics.Counter   // calls issued (pings included)
+	Errors   *metrics.Counter   // calls that returned any error
+	Timeouts *metrics.Counter   // the subset that timed out
+	Redials  *metrics.Counter   // retries: dials replacing a broken pooled peer
+	Latency  *metrics.Histogram // per-call wall time, pow2 ns buckets
+	BytesOut *metrics.Counter   // bytes written, llenc headers included
+	BytesIn  *metrics.Counter   // bytes read
+	Served   *metrics.Counter   // server-side requests dispatched
+}
+
+// NewInstruments registers the library's canonical series on reg ("rpc."
+// prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Calls:    reg.Counter("rpc.calls"),
+		Errors:   reg.Counter("rpc.errors"),
+		Timeouts: reg.Counter("rpc.timeouts"),
+		Redials:  reg.Counter("rpc.redials"),
+		Latency:  reg.Histogram("rpc.latency_ns", metrics.KindHistPow2),
+		BytesOut: reg.Counter("rpc.bytes_out"),
+		BytesIn:  reg.Counter("rpc.bytes_in"),
+		Served:   reg.Counter("rpc.served"),
+	}
+}
+
+// SetInstruments attaches instruments to the client. Call it before
+// issuing calls; connections dialed earlier stay uncounted.
+func (c *Client) SetInstruments(ins Instruments) { c.ins = ins }
+
+// SetInstruments attaches instruments to the server. Call it before
+// Start.
+func (s *Server) SetInstruments(ins Instruments) { s.ins = ins }
+
+// countedConn meters a connection's bytes in both directions. It is
+// pure delegation — no buffering, no scheduling — so wrapping changes
+// nothing but the counters.
+type countedConn struct {
+	transport.Conn
+	in, out *metrics.Counter
+}
+
+func (cc countedConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.in.Add(uint64(n))
+	return n, err
+}
+
+func (cc countedConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.out.Add(uint64(n))
+	return n, err
+}
+
+// meter wraps conn when byte counting is on.
+func (ins *Instruments) meter(conn transport.Conn) transport.Conn {
+	if ins.BytesIn == nil && ins.BytesOut == nil {
+		return conn
+	}
+	return countedConn{Conn: conn, in: ins.BytesIn, out: ins.BytesOut}
+}

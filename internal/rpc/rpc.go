@@ -172,6 +172,7 @@ type Server struct {
 
 	ln     transport.Listener
 	closed bool
+	ins    Instruments
 }
 
 // NewServer returns a server bound to the instance context. The reserved
@@ -239,6 +240,7 @@ func (s *Server) Close() error {
 
 func (s *Server) serveConn(conn transport.Conn) {
 	defer conn.Close()
+	conn = s.ins.meter(conn)
 	dec := llenc.NewReader(conn)
 	cw := &replyWriter{enc: llenc.NewWriter(conn)}
 	for {
@@ -246,6 +248,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err != nil {
 			return
 		}
+		s.ins.Served.Inc()
 		var id uint64
 		var h Handler
 		var hok bool

@@ -178,6 +178,8 @@ func (c *conn) Write(b []byte) (int, error) {
 	}
 	c.h.nw.stats.StreamMsgs++
 	c.h.nw.stats.StreamBytes += uint64(len(b))
+	c.h.nw.ins.StreamMsgs.Inc()
+	c.h.nw.ins.StreamBytes.Add(uint64(len(b)))
 
 	data := c.h.nw.getBuf(len(b))
 	copy(data, b)

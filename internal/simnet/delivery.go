@@ -43,6 +43,8 @@ func (nw *Network) newDelivery() *delivery {
 // fire performs the delivery and recycles the object. All conditions are
 // re-checked at delivery time, exactly like the closures this replaces.
 func (d *delivery) fire() {
+	d.nw.ins.Deliveries.Inc()
+	d.nw.ins.QueuedBytes.Add(-int64(len(d.data)))
 	switch d.kind {
 	case dlvData:
 		d.pipe.deliverData(d.data)
@@ -70,6 +72,7 @@ func (nw *Network) scheduleData(at time.Time, p *pipe, data []byte) {
 	d.kind = dlvData
 	d.pipe = p
 	d.data = data
+	nw.ins.QueuedBytes.Add(int64(len(data)))
 	nw.kernel.AtFunc(at, d.run)
 }
 
@@ -89,5 +92,6 @@ func (nw *Network) scheduleDgram(at time.Time, to *Host, port int, data []byte, 
 	d.port = port
 	d.data = data
 	d.from = from
+	nw.ins.QueuedBytes.Add(int64(len(data)))
 	nw.kernel.AtFunc(at, d.run)
 }

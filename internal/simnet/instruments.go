@@ -1,0 +1,39 @@
+package simnet
+
+import (
+	"github.com/splaykit/splay/internal/metrics"
+)
+
+// Instruments is the simulated network's optional metric set for the
+// observability plane, mirroring Stats as live series plus a gauge of
+// bytes scheduled but not yet delivered. The zero value disables
+// everything (nil instruments are no-ops), and increments touch only
+// memory, so attaching instruments never perturbs the event schedule.
+type Instruments struct {
+	StreamMsgs    *metrics.Counter
+	StreamBytes   *metrics.Counter
+	Datagrams     *metrics.Counter
+	DroppedDgrams *metrics.Counter
+	Dials         *metrics.Counter
+	RefusedDials  *metrics.Counter
+	Deliveries    *metrics.Counter // scheduled deliveries fired (data, EOF, datagram)
+	QueuedBytes   *metrics.Gauge   // payload bytes in flight through the fluid model
+}
+
+// NewInstruments registers the network's canonical series on reg
+// ("simnet." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		StreamMsgs:    reg.Counter("simnet.stream_msgs"),
+		StreamBytes:   reg.Counter("simnet.stream_bytes"),
+		Datagrams:     reg.Counter("simnet.datagrams"),
+		DroppedDgrams: reg.Counter("simnet.dropped_dgrams"),
+		Dials:         reg.Counter("simnet.dials"),
+		RefusedDials:  reg.Counter("simnet.refused_dials"),
+		Deliveries:    reg.Counter("simnet.deliveries"),
+		QueuedBytes:   reg.Gauge("simnet.queued_bytes"),
+	}
+}
+
+// SetInstruments attaches instruments to the network.
+func (nw *Network) SetInstruments(ins Instruments) { nw.ins = ins }

@@ -55,8 +55,10 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 		return 0, err
 	}
 	nw.stats.Datagrams++
+	nw.ins.Datagrams.Inc()
 	if loss := nw.model.Loss(p.host.id, remote.id); loss > 0 && nw.rng.Float64() < loss {
 		nw.stats.DroppedDgrams++
+		nw.ins.DroppedDgrams.Inc()
 		return len(b), nil
 	}
 	data := nw.getBuf(len(b))

@@ -75,6 +75,7 @@ type Network struct {
 	freeBuf [][]byte  // pooled payload buffers (see getBuf/putBuf)
 
 	stats Stats
+	ins   Instruments
 }
 
 // getBuf returns a payload buffer of length n from the network's free
@@ -345,6 +346,7 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 		return nil, err
 	}
 	h.nw.stats.Dials++
+	h.nw.ins.Dials.Inc()
 	port, err := h.ephemeralPort()
 	if err != nil {
 		return nil, err
@@ -370,6 +372,7 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 		l, ok := remote.listeners[to.Port]
 		if !ok || remote.down {
 			h.nw.stats.RefusedDials++
+			h.nw.ins.RefusedDials.Inc()
 			k.AfterFunc(rev, func() { ref.Wake(transport.ErrRefused) })
 			return
 		}
