@@ -1,9 +1,13 @@
-package splay
+package splay_test
 
 // Benchmark harness: one testing.B target per table/figure of the paper's
 // evaluation (§5). Each bench runs its experiment at reduced scale so the
 // full suite stays tractable; cmd/splay-experiments runs them at paper
 // scale. go test -bench=. -benchmem regenerates everything.
+//
+// The package is an external test (splay_test): the experiments it runs
+// are built on the splay scenario SDK, so an in-package test would be an
+// import cycle.
 
 import (
 	"fmt"
@@ -13,8 +17,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/splaykit/splay/experiments"
 	"github.com/splaykit/splay/internal/core"
-	"github.com/splaykit/splay/internal/experiments"
 	"github.com/splaykit/splay/internal/protocols/pastry"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/sim"

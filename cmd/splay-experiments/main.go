@@ -32,7 +32,7 @@ import (
 	"sync"
 	"time"
 
-	"github.com/splaykit/splay/internal/experiments"
+	"github.com/splaykit/splay/experiments"
 )
 
 func main() {

@@ -27,8 +27,8 @@ import (
 	"os"
 	"time"
 
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/controller"
-	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/livenet"
 	"github.com/splaykit/splay/internal/metrics"
 )
@@ -51,7 +51,7 @@ func main() {
 		return
 	}
 
-	rt := core.NewLiveRuntime(1)
+	rt := splay.NewLiveRuntime(1)
 	node := livenet.NewNode(*host)
 	if *useTLS {
 		cfg, err := livenet.SelfSignedTLS(*host)

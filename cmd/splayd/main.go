@@ -14,8 +14,8 @@ import (
 	"os"
 	"time"
 
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/apps"
-	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/daemon"
 	"github.com/splaykit/splay/internal/livenet"
 	"github.com/splaykit/splay/internal/logging"
@@ -38,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("splayd: %v", err)
 	}
-	rt := core.NewLiveRuntime(time.Now().UnixNano())
+	rt := splay.NewLiveRuntime(time.Now().UnixNano())
 	node := livenet.NewNode(*name)
 	if *useTLS {
 		cfg, err := livenet.SelfSignedTLS(*name)

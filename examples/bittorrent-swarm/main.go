@@ -1,55 +1,65 @@
 // bittorrent-swarm distributes a file through a simulated BitTorrent
-// swarm — the paper's motivating short-lifetime deployment ("distributing
-// a large file using BitTorrent", §1) — and prints completion times.
+// swarm deployed as one scenario — the paper's motivating short-lifetime
+// deployment ("distributing a large file using BitTorrent", §1). Roles
+// come from the deployment itself: position 1 runs the tracker (the
+// rendez-vous node every instance finds in job.nodes), position 2 the
+// initial seed, everyone else leeches.
 //
 //	go run ./examples/bittorrent-swarm
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 	"time"
 
-	"github.com/splaykit/splay/internal/core"
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/protocols/bittorrent"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
-	"github.com/splaykit/splay/internal/transport"
 )
 
 func main() {
 	const leechers = 15
 	torrent := bittorrent.Torrent{Name: "ubuntu.iso", Size: 8 << 20, PieceSize: 128 << 10}
 
-	k := sim.NewKernel()
-	nw := simnet.New(k, simnet.Symmetric{RTT: 40 * time.Millisecond, Bps: 1 << 20}, leechers+2, 7)
-	rt := core.NewSimRuntime(k, 7)
-	mk := func(i int) *core.AppContext {
-		addr := transport.Addr{Host: simnet.HostName(i), Port: 6881}
-		return core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
-	}
-	tracker := bittorrent.NewTracker(mk(0))
-	trackerAddr := transport.Addr{Host: "n0", Port: 6881}
-	seed := bittorrent.NewPeer(mk(1), torrent, trackerAddr, true, bittorrent.DefaultConfig())
+	var seed *bittorrent.Peer
 	var peers []*bittorrent.Peer
-	for i := 0; i < leechers; i++ {
-		peers = append(peers, bittorrent.NewPeer(mk(i+2), torrent, trackerAddr, false, bittorrent.DefaultConfig()))
+	sc := splay.Scenario{
+		Seed:    7,
+		Testbed: splay.Uniform(leechers+2, 40*time.Millisecond, 1<<20),
+		Apps: []splay.AppSpec{{
+			Name:  "swarm",
+			Nodes: leechers + 2,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				job := env.Job()
+				if job.Position == 1 {
+					return bittorrent.NewTracker(env.AppContext()).Start()
+				}
+				p := bittorrent.NewPeer(env.AppContext(), torrent, job.Nodes[0],
+					job.Position == 2, bittorrent.DefaultConfig())
+				if err := p.Start(); err != nil {
+					return err
+				}
+				if job.Position == 2 {
+					seed = p
+				} else {
+					peers = append(peers, p)
+				}
+				return nil
+			}),
+		}},
 	}
-	k.Go(func() {
-		if err := tracker.Start(); err != nil {
-			log.Fatal(err)
-		}
-		if err := seed.Start(); err != nil {
-			log.Fatal(err)
-		}
-		for _, p := range peers {
-			if err := p.Start(); err != nil {
-				log.Fatal(err)
-			}
-		}
-	})
-	k.RunFor(30 * time.Minute)
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Stop()
+	if _, err := sess.Deploy(sc.Apps[0]).Wait(); err != nil {
+		log.Fatal(err)
+	}
+	start := sess.Now()
+	sess.RunFor(30 * time.Minute)
 
 	fmt.Printf("swarm: 1 seed + %d leechers, %d MB file, 1 MB/s links\n",
 		leechers, torrent.Size>>20)
@@ -59,7 +69,7 @@ func main() {
 			fmt.Println("  a peer did not finish!")
 			continue
 		}
-		times = append(times, p.CompletedAt.Sub(sim.Epoch))
+		times = append(times, p.CompletedAt.Sub(start))
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	for i, t := range times {

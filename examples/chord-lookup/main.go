@@ -1,61 +1,66 @@
-// chord-lookup deploys a converged Chord ring on a simulated ModelNet
-// cluster (the §5.2 setting) and reports route lengths and delays — a
-// miniature of Fig. 6.
+// chord-lookup deploys a Chord ring onto a simulated ModelNet cluster
+// through the scenario SDK (the §5.2 setting) and reports route lengths
+// and delays — a miniature of Fig. 6. The controller places the
+// instances; the ring is then converged statically and driven from a
+// measurement task.
 //
 //	go run ./examples/chord-lookup
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"github.com/splaykit/splay/internal/core"
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/protocols/chord"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
 	"github.com/splaykit/splay/internal/stats"
-	"github.com/splaykit/splay/internal/topology"
-	"github.com/splaykit/splay/internal/transport"
 )
 
 func main() {
 	const n = 200
-	k := sim.NewKernel()
-	model := topology.NewModelNet(topology.DefaultModelNet(n))
-	nw := simnet.New(k, model, n, 42)
-	rt := core.NewSimRuntime(k, 42)
 	rng := rand.New(rand.NewSource(42))
-
 	var nodes []*chord.Node
-	for i := 0; i < n; i++ {
-		addr := transport.Addr{Host: simnet.HostName(i), Port: 8000}
-		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr, Position: i + 1}, nil)
-		cfg := chord.DefaultConfig()
-		id := uint64(rng.Intn(1 << 24))
-		cfg.ID = &id
-		node, err := chord.New(ctx, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		nodes = append(nodes, node)
+	sc := splay.Scenario{
+		Seed:    42,
+		Testbed: splay.ModelNet(n),
+		Apps: []splay.AppSpec{{
+			Name:  "chord-lookup",
+			Nodes: n,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				cfg := chord.DefaultConfig()
+				id := uint64(rng.Intn(1 << 24))
+				cfg.ID = &id
+				node, err := chord.New(env.AppContext(), cfg)
+				if err != nil {
+					return err
+				}
+				if err := node.Start(); err != nil {
+					return err
+				}
+				nodes = append(nodes, node)
+				return nil
+			}),
+		}},
 	}
-	k.Go(func() {
-		for _, node := range nodes {
-			if err := node.Start(); err != nil {
-				log.Fatal(err)
-			}
-		}
-	})
-	k.Run()
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Stop()
+	if _, err := sess.Deploy(sc.Apps[0]).Wait(); err != nil {
+		log.Fatal(err)
+	}
 	if err := chord.BuildRing(nodes, chord.BuildOptions{}); err != nil {
 		log.Fatal(err)
 	}
 
 	hist := &stats.IntHistogram{}
 	var delays stats.Durations
-	k.Go(func() {
+	done := false
+	sess.Go(func() {
 		for i := 0; i < 2000; i++ {
 			src := nodes[rng.Intn(len(nodes))]
 			res, err := src.Lookup(uint64(rng.Intn(1 << 24)))
@@ -65,8 +70,11 @@ func main() {
 			hist.Add(res.Hops)
 			delays = append(delays, res.RTT)
 		}
+		done = true
 	})
-	k.Run()
+	for !done {
+		sess.RunFor(time.Minute)
+	}
 
 	fmt.Printf("Chord on simulated ModelNet: %d nodes, %d lookups\n", n, hist.Total())
 	fmt.Printf("mean route length: %.2f hops (½·log2 N = %.2f)\n", hist.Mean(), 3.82)

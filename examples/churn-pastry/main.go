@@ -1,92 +1,87 @@
 // churn-pastry runs Pastry under the paper's Fig. 4 synthetic churn
-// script and reports lookup success through the phases — the §5.5
+// script, declared as a Scenario churn spec: each trace slot that joins
+// instantiates the application, each leave kills it and takes the host
+// down. Lookup success is sampled through the phases — the §5.5
 // churn-management workflow in miniature.
 //
 //	go run ./examples/churn-pastry
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"github.com/splaykit/splay/internal/churn"
-	"github.com/splaykit/splay/internal/core"
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/protocols/pastry"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
-	"github.com/splaykit/splay/internal/transport"
 )
 
 func main() {
 	// Scale the Fig. 4 script up: 10× the population for a livelier run.
-	script, err := churn.ParseScript(`at 30s join 100
+	churn, err := splay.ChurnScript(`at 30s join 100
 from 5m to 10m inc 100
 from 10m to 15m const churn 50%
 at 15m leave 50%
 from 15m to 20m inc 100 churn 150%
-at 20m stop`)
+at 20m stop`, 99)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace := churn.FromScript(script, 99)
-	slots := trace.MaxSlot() + 1
-
-	k := sim.NewKernel()
-	nw := simnet.New(k, simnet.Symmetric{RTT: 20 * time.Millisecond}, slots, 99)
-	rt := core.NewSimRuntime(k, 99)
-	rng := rand.New(rand.NewSource(99))
-
-	nodes := make([]*pastry.Node, slots)
-	ctxs := make([]*core.AppContext, slots)
-	var alive []int
 
 	cfg := pastry.DefaultConfig()
 	cfg.RPCTimeout = 5 * time.Second
 	cfg.MaintainEvery = 10 * time.Second
+	rng := rand.New(rand.NewSource(99))
+	nodes := make([]*pastry.Node, churn.Slots())
+	var alive []int
 
-	ctl := churn.NodeControlFuncs{
-		Start: func(slot int) {
-			nw.Host(slot).SetDown(false)
-			addr := transport.Addr{Host: simnet.HostName(slot), Port: 9000}
-			ctx := core.NewAppContext(rt, nw.Node(slot), core.JobInfo{Me: addr}, nil)
-			c := cfg
-			id := pastry.ID(rng.Uint64())
-			c.ID = &id
-			n := pastry.New(ctx, c)
-			nodes[slot], ctxs[slot] = n, ctx
-			if err := n.Start(); err != nil {
-				return
-			}
-			if len(alive) > 0 {
-				seed := nodes[alive[rng.Intn(len(alive))]]
-				n.Join(seed.Self().Addr) //nolint:errcheck
-			}
-			n.StartMaintenance()
-			alive = append(alive, slot)
-		},
-		Stop: func(slot int) {
-			if ctxs[slot] != nil {
-				ctxs[slot].Kill()
-			}
-			nw.Host(slot).SetDown(true)
-			for i, s := range alive {
-				if s == slot {
-					alive = append(alive[:i], alive[i+1:]...)
-					break
+	sc := splay.Scenario{
+		Seed:    99,
+		Testbed: splay.Uniform(0, 20*time.Millisecond, 0),
+		Churn:   churn,
+		Apps: []splay.AppSpec{{
+			Name: "churn-pastry",
+			App: splay.AppFunc(func(env *splay.Env) error {
+				slot := env.Job().Position - 1
+				c := cfg
+				id := pastry.ID(rng.Uint64())
+				c.ID = &id
+				n := pastry.New(env.AppContext(), c)
+				nodes[slot] = n
+				if err := n.Start(); err != nil {
+					return err
 				}
-			}
-		},
+				if len(alive) > 0 {
+					seed := nodes[alive[rng.Intn(len(alive))]]
+					n.Join(seed.Self().Addr) //nolint:errcheck // churned-out seeds are expected
+				}
+				n.StartMaintenance()
+				alive = append(alive, slot)
+				env.OnKill(func() {
+					for i, s := range alive {
+						if s == slot {
+							alive = append(alive[:i], alive[i+1:]...)
+							break
+						}
+					}
+				})
+				return nil
+			}),
+		}},
 	}
-	ex := churn.NewExecutor(rt, trace, ctl)
-	k.Go(ex.Run)
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Stop()
 
 	// Sample lookups every 30 seconds.
 	fmt.Printf("%-8s %8s %8s %8s\n", "minute", "alive", "ok", "fail")
 	for m := 0; m < 21; m++ {
 		m := m
-		k.GoAfter(time.Duration(m)*time.Minute+30*time.Second, func() {
+		sess.GoAfter(time.Duration(m)*time.Minute+30*time.Second, func() {
 			ok, fail := 0, 0
 			for i := 0; i < 20 && len(alive) > 1; i++ {
 				src := nodes[alive[rng.Intn(len(alive))]]
@@ -99,6 +94,6 @@ at 20m stop`)
 			fmt.Printf("%-8d %8d %8d %8d\n", m, len(alive), ok, fail)
 		})
 	}
-	k.RunFor(22 * time.Minute)
+	sess.RunFor(22 * time.Minute)
 	fmt.Println("churn replay complete")
 }

@@ -1,75 +1,40 @@
 // Quickstart: the whole SPLAY chain in one process on real sockets — a
 // controller, five daemons, and a Chord job deployed through the
-// REGISTER/LIST/START protocol, exactly as `splayctl` + `splayd` +
-// `splay run -app chord` would do across machines.
+// REGISTER/LIST/START protocol — declared as one splay.Scenario. The
+// controller binds an ephemeral port, daemon readiness is polled (not
+// slept for), and application ports are probed before they are granted.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [duration]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"github.com/splaykit/splay/internal/apps"
-	"github.com/splaykit/splay/internal/controller"
-	"github.com/splaykit/splay/internal/core"
-	"github.com/splaykit/splay/internal/daemon"
-	"github.com/splaykit/splay/internal/livenet"
-	"github.com/splaykit/splay/internal/logging"
-	"github.com/splaykit/splay/internal/transport"
+	splay "github.com/splaykit/splay"
 )
 
 func main() {
-	const daemons = 5
-	rt := core.NewLiveRuntime(time.Now().UnixNano())
-
-	// Controller on localhost.
-	ctlCfg := controller.DefaultConfig()
-	ctlCfg.Port = 15555
-	ctl := controller.New(rt, livenet.NewNode("127.0.0.1"), ctlCfg)
-	if err := ctl.Start(); err != nil {
-		log.Fatalf("controller: %v", err)
-	}
-	fmt.Println("controller listening on 127.0.0.1:15555")
-
-	// Five daemons, each with its own port range so they coexist on one
-	// machine.
-	lg := logging.New(&logging.WriterSink{W: os.Stdout}, "local", "quickstart", nil)
-	for i := 0; i < daemons; i++ {
-		cfg := daemon.DefaultConfig("127.0.0.1")
-		cfg.Name = "127.0.0.1" // instances are reachable at localhost
-		cfg.PortLow = 21000 + i*100
-		cfg.PortHigh = cfg.PortLow + 99
-		// Daemon names must be unique per controller session; advertise
-		// distinct names resolving to localhost via the job address.
-		cfg.Name = fmt.Sprintf("127.0.0.%d", i+1)
-		d := daemon.New(rt, livenet.NewNode(cfg.Name), apps.Default(), cfg, lg)
-		if err := d.Connect(transport.Addr{Host: "127.0.0.1", Port: 15555}); err != nil {
-			log.Fatalf("daemon %d: %v", i, err)
+	duration := 30 * time.Second
+	if len(os.Args) > 1 {
+		d, err := time.ParseDuration(os.Args[1])
+		if err != nil {
+			log.Fatalf("quickstart: bad duration %q: %v", os.Args[1], err)
 		}
+		duration = d
 	}
-	time.Sleep(500 * time.Millisecond)
-	fmt.Printf("daemons connected: %d\n", ctl.Daemons())
-
-	// Deploy a 4-node Chord ring with one lookup per second per node.
-	job, err := ctl.Submit(controller.JobSpec{
-		App:    "chord",
-		Params: []byte(`{"bits":24,"lookups_per_min":60}`),
-		Nodes:  4,
-	})
+	fmt.Println("quickstart: controller + 5 daemons on loopback; lookups appear in the instance logs…")
+	res, err := splay.Scenario{
+		Testbed:  splay.Live(5),
+		Apps:     []splay.AppSpec{{Name: "chord", Nodes: 4, Params: []byte(`{"bits":24,"lookups_per_min":60}`)}},
+		Collect:  splay.Collect{Logs: os.Stdout},
+		Duration: duration,
+	}.Run(context.Background())
 	if err != nil {
-		log.Fatalf("submit: %v", err)
+		log.Fatal(err)
 	}
-	fmt.Printf("job %s is %s on %v\n", job.ID, job.State, job.Deployed)
-
-	// Let the ring form (staggered joins) and look up for a while.
-	fmt.Println("running for 30s — lookups appear in the instance logs…")
-	time.Sleep(30 * time.Second)
-
-	if err := ctl.StopJob(job.ID); err != nil {
-		log.Fatalf("stop: %v", err)
-	}
-	fmt.Println("job stopped; quickstart complete")
+	fmt.Printf("job %s ran on %v; quickstart complete\n", res.Jobs[0].ID, res.Jobs[0].Deployed)
 }

@@ -1,51 +1,56 @@
-// webcache runs the §5.7 cooperative web cache on a simulated cluster
-// under a Zipf request stream and prints the evolving hit ratio and
-// delays — a miniature of Fig. 14.
+// webcache deploys the §5.7 cooperative web cache onto a simulated
+// cluster through the scenario SDK, drives it with a Zipf request
+// stream, and prints the evolving hit ratio and delays — a miniature of
+// Fig. 14.
 //
 //	go run ./examples/webcache
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"github.com/splaykit/splay/internal/core"
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/protocols/pastry"
 	"github.com/splaykit/splay/internal/protocols/webcache"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
 	"github.com/splaykit/splay/internal/stats"
-	"github.com/splaykit/splay/internal/transport"
 	"github.com/splaykit/splay/internal/workload"
 )
 
 func main() {
 	const nodes = 32
-	k := sim.NewKernel()
-	nw := simnet.New(k, simnet.Symmetric{RTT: 10 * time.Millisecond, Bps: 12.5e6}, nodes, 3)
-	rt := core.NewSimRuntime(k, 3)
-
 	var pnodes []*pastry.Node
 	var caches []*webcache.Cache
-	for i := 0; i < nodes; i++ {
-		addr := transport.Addr{Host: simnet.HostName(i), Port: 9000}
-		ctx := core.NewAppContext(rt, nw.Node(i), core.JobInfo{Me: addr}, nil)
-		p := pastry.New(ctx, pastry.DefaultConfig())
-		pnodes = append(pnodes, p)
-		caches = append(caches, webcache.New(ctx, p, webcache.DefaultConfig()))
+	sc := splay.Scenario{
+		Seed:    3,
+		Testbed: splay.Uniform(nodes, 10*time.Millisecond, 12.5e6),
+		Apps: []splay.AppSpec{{
+			Name:  "webcache",
+			Nodes: nodes,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				p := pastry.New(env.AppContext(), pastry.DefaultConfig())
+				c := webcache.New(env.AppContext(), p, webcache.DefaultConfig())
+				if err := p.Start(); err != nil {
+					return err
+				}
+				if err := c.Start(); err != nil {
+					return err
+				}
+				pnodes, caches = append(pnodes, p), append(caches, c)
+				return nil
+			}),
+		}},
 	}
-	k.Go(func() {
-		for i := range pnodes {
-			if err := pnodes[i].Start(); err != nil {
-				log.Fatal(err)
-			}
-			if err := caches[i].Start(); err != nil {
-				log.Fatal(err)
-			}
-		}
-	})
-	k.Run()
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Stop()
+	if _, err := sess.Deploy(sc.Apps[0]).Wait(); err != nil {
+		log.Fatal(err)
+	}
 	if err := pastry.BuildNetwork(pnodes, pastry.BuildOptions{Seed: 3}); err != nil {
 		log.Fatal(err)
 	}
@@ -62,14 +67,14 @@ func main() {
 		delays      stats.Durations
 	}
 	buckets := map[int]*bucket{}
-	k.Go(func() {
+	sess.Go(func() {
 		prev := time.Duration(0)
 		for i := 0; ; i++ {
 			at, url := gen.Next()
 			if at > 30*time.Minute {
 				return
 			}
-			k.Sleep(at - prev)
+			sess.Sleep(at - prev)
 			prev = at
 			res, err := caches[i%nodes].Get(url)
 			if err != nil {
@@ -87,7 +92,7 @@ func main() {
 			b.delays = append(b.delays, res.Delay)
 		}
 	})
-	k.RunFor(31 * time.Minute)
+	sess.RunFor(31 * time.Minute)
 
 	fmt.Printf("cooperative web cache: %d nodes, LRU(100), TTL 120s, 50 req/s\n", nodes)
 	fmt.Printf("%-10s %8s %10s %10s\n", "window", "hit%", "p50", "p95")

@@ -1,0 +1,44 @@
+// Package experiments is the public surface of the paper-reproduction
+// suite: every figure and table of SPLAY's evaluation (§5) as a named,
+// parameterized experiment. It re-exports the internal engine so
+// consumers — cmd/splay-experiments, external harnesses — run the suite
+// without importing internal packages.
+//
+// Each experiment is a single-threaded deterministic simulation
+// (several, like ctlplane and obsplane, are built on the splay scenario
+// SDK); RunParallel shards independent experiments across CPU cores with
+// byte-identical output.
+package experiments
+
+import (
+	internal "github.com/splaykit/splay/internal/experiments"
+)
+
+type (
+	// Options tunes an experiment run (scale, seed, output writer).
+	Options = internal.Options
+	// Result carries an experiment's headline metrics.
+	Result = internal.Result
+	// Spec pairs an experiment id with its options for batch runs.
+	Spec = internal.Spec
+	// Outcome is one completed Spec: result, error, captured output.
+	Outcome = internal.Outcome
+)
+
+// Run executes the named experiment.
+func Run(id string, opt Options) (*Result, error) { return internal.Run(id, opt) }
+
+// IDs lists registered experiments in order.
+func IDs() []string { return internal.IDs() }
+
+// RunParallel runs the specs sharded across workers (0 = GOMAXPROCS)
+// and returns outcomes in submission order.
+func RunParallel(specs []Spec, workers int) []Outcome {
+	return internal.RunParallel(specs, workers)
+}
+
+// RunParallelFunc runs the specs sharded across workers, invoking onDone
+// as each finishes (any order); it returns when all have.
+func RunParallelFunc(specs []Spec, workers int, onDone func(i int, oc Outcome)) {
+	internal.RunParallelFunc(specs, workers, onDone)
+}

@@ -18,19 +18,33 @@ import (
 	"github.com/splaykit/splay/internal/protocols/pastry"
 )
 
-// Register installs every built-in application into the registry.
-func Register(reg *core.Registry) {
-	reg.Register("chord", chordFactory)
-	reg.Register("pastry", pastryFactory)
-	reg.Register("cyclon", cyclonFactory)
-	reg.Register("epidemic", epidemicFactory)
-	reg.Register("bittorrent", bittorrentFactory)
+// Register installs every built-in application into the registry. A name
+// already taken in reg (e.g. by a user application) surfaces as an error
+// rather than being clobbered.
+func Register(reg *core.Registry) error {
+	for _, b := range []struct {
+		name string
+		f    core.Factory
+	}{
+		{"chord", chordFactory},
+		{"pastry", pastryFactory},
+		{"cyclon", cyclonFactory},
+		{"epidemic", epidemicFactory},
+		{"bittorrent", bittorrentFactory},
+	} {
+		if err := reg.Register(b.name, b.f); err != nil {
+			return fmt.Errorf("apps: %w", err)
+		}
+	}
+	return nil
 }
 
 // Default returns a registry with all built-in applications.
 func Default() *core.Registry {
 	reg := core.NewRegistry()
-	Register(reg)
+	if err := Register(reg); err != nil {
+		panic(err) // fresh registry: duplicates are impossible
+	}
 	return reg
 }
 

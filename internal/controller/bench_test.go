@@ -16,7 +16,7 @@ import (
 // immediately: the benchmark measures the control plane, not the app.
 func noopRegistry() *core.Registry {
 	reg := core.NewRegistry()
-	reg.Register("noop", func(params json.RawMessage) (core.App, error) {
+	reg.MustRegister("noop", func(params json.RawMessage) (core.App, error) {
 		return core.AppFunc(func(ctx *core.AppContext) error { return nil }), nil
 	})
 	return reg

@@ -53,9 +53,15 @@ func NewInstruments(reg *metrics.Registry) Instruments {
 	}
 }
 
+// PortEphemeral asks Start to bind an OS/simnet-assigned port instead of
+// a fixed one; Addr reports the port actually bound. The zero Port still
+// means "the default 5555" (zero-value Config compatibility).
+const PortEphemeral = -1
+
 // Config tunes the controller.
 type Config struct {
-	// Port accepts daemon connections.
+	// Port accepts daemon connections. PortEphemeral binds an
+	// ephemeral port (read it back with Addr).
 	Port int
 	// DefaultSuperset is the fraction of extra daemons probed per job
 	// (the paper settles on 1.25 as the default, §5.6).
@@ -223,7 +229,11 @@ func New(rt core.Runtime, node transport.Node, cfg Config) *Controller {
 
 // Start listens for daemons and begins session monitoring.
 func (c *Controller) Start() error {
-	ln, err := c.node.Listen(c.cfg.Port)
+	port := c.cfg.Port
+	if port == PortEphemeral {
+		port = 0
+	}
+	ln, err := c.node.Listen(port)
 	if err != nil {
 		return fmt.Errorf("controller: listen: %w", err)
 	}
@@ -312,6 +322,20 @@ func (c *Controller) Stop() {
 
 // SetInstruments attaches instruments. Call it before Start.
 func (c *Controller) SetInstruments(ins Instruments) { c.ins = ins }
+
+// Addr returns the address daemons connect to. Only valid after Start;
+// the port is the one actually bound, which matters under PortEphemeral.
+func (c *Controller) Addr() transport.Addr {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	if ln == nil {
+		return transport.Addr{Host: c.node.Host(), Port: c.cfg.Port}
+	}
+	a := ln.Addr()
+	a.Host = c.node.Host()
+	return a
+}
 
 // Daemons returns the connected daemon count.
 func (c *Controller) Daemons() int { return c.reg.count() }

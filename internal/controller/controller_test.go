@@ -18,7 +18,7 @@ import (
 // position 1, counts greetings from the other instances.
 func pingRegistry() *core.Registry {
 	reg := core.NewRegistry()
-	reg.Register("pingapp", func(params json.RawMessage) (core.App, error) {
+	reg.MustRegister("pingapp", func(params json.RawMessage) (core.App, error) {
 		return core.AppFunc(func(ctx *core.AppContext) error {
 			srv := rpc.NewServer(ctx)
 			greeted := 0

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/splaykit/splay/internal/transport"
@@ -62,6 +64,19 @@ type AppContext struct {
 	// Log receives the application's log output.
 	Log Logger
 
+	// baton serializes the instance's tasks under LiveRuntime,
+	// reproducing the cooperative execution model applications are
+	// written against (the paper's coroutine scheduler): at any moment
+	// at most one task of the instance runs, and the baton is yielded
+	// at every park point — Sleep, waiter Wait, contended Lock, and
+	// Blocking I/O sections. Nil under the simulation runtime, which is
+	// cooperative by construction. holder records the goroutine that
+	// owns the baton, so park points reached from foreign goroutines
+	// (a driver thread calling into an instance) neither steal nor
+	// corrupt the token — they simply run unserialized, as before.
+	baton  chan struct{}
+	holder atomic.Uint64
+
 	mu      sync.Mutex
 	killed  bool
 	cancels []func()
@@ -74,7 +89,85 @@ func NewAppContext(rt Runtime, node transport.Node, job JobInfo, log Logger) *Ap
 	if log == nil {
 		log = NopLogger{}
 	}
-	return &AppContext{rt: rt, node: node, Job: job, Log: log}
+	c := &AppContext{rt: rt, node: node, Job: job, Log: log}
+	if _, live := rt.(*LiveRuntime); live {
+		c.baton = make(chan struct{}, 1)
+	}
+	return c
+}
+
+// gid returns the calling goroutine's id (live park points only; the
+// runtime never reuses ids, so holder comparisons cannot alias).
+func gid() uint64 {
+	var buf [64]byte
+	b := buf[:runtime.Stack(buf[:], false)]
+	b = b[len("goroutine "):]
+	var id uint64
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		id = id*10 + uint64(ch-'0')
+	}
+	return id
+}
+
+// acquireBaton takes the instance's execution slot (no-op in simulation).
+func (c *AppContext) acquireBaton() {
+	if c.baton != nil {
+		c.baton <- struct{}{}
+		c.holder.Store(gid())
+	}
+}
+
+// releaseBaton yields the execution slot (no-op in simulation). The
+// caller must hold it (task wrappers do by construction).
+func (c *AppContext) releaseBaton() {
+	if c.baton != nil {
+		c.holder.Store(0)
+		<-c.baton
+	}
+}
+
+// yieldBaton releases the execution slot if — and only if — the calling
+// goroutine holds it, reporting whether it did. Park points reached from
+// foreign goroutines (outside any instance task) are a no-op, preserving
+// their pre-baton behavior.
+func (c *AppContext) yieldBaton() bool {
+	if c.baton == nil || c.holder.Load() != gid() {
+		return false
+	}
+	c.holder.Store(0)
+	<-c.baton
+	return true
+}
+
+// Blocking runs fn with the instance baton released, so a task blocked
+// in real I/O (a socket read, an accept) does not starve the instance's
+// other tasks. Under the simulation runtime this is a plain call: sim
+// blocking parks in virtual time instead.
+func (c *AppContext) Blocking(fn func()) {
+	held := c.yieldBaton()
+	fn()
+	if held {
+		c.acquireBaton()
+	}
+}
+
+// batonWaiter yields the instance baton while parked, so the instance's
+// other tasks run during the wait.
+type batonWaiter struct {
+	Waiter
+	c *AppContext
+}
+
+func (w batonWaiter) Wait() any {
+	held := w.c.yieldBaton()
+	v := w.Waiter.Wait()
+	if held {
+		w.c.acquireBaton()
+	}
+	return v
 }
 
 // Runtime returns the context's runtime.
@@ -86,17 +179,34 @@ func (c *AppContext) Node() transport.Node { return c.node }
 // Now returns the current time.
 func (c *AppContext) Now() time.Time { return c.rt.Now() }
 
-// Sleep parks the calling task.
-func (c *AppContext) Sleep(d time.Duration) { c.rt.Sleep(d) }
+// Sleep parks the calling task, yielding the instance baton.
+func (c *AppContext) Sleep(d time.Duration) {
+	held := c.yieldBaton()
+	c.rt.Sleep(d)
+	if held {
+		c.acquireBaton()
+	}
+}
 
 // Rand returns the runtime's random source.
 func (c *AppContext) Rand() *rand.Rand { return c.rt.Rand() }
 
-// NewWaiter returns a fresh waiter.
-func (c *AppContext) NewWaiter() Waiter { return c.rt.NewWaiter() }
+// NewWaiter returns a fresh waiter whose Wait yields the instance baton.
+func (c *AppContext) NewWaiter() Waiter {
+	w := c.rt.NewWaiter()
+	if c.baton == nil {
+		return w
+	}
+	return batonWaiter{Waiter: w, c: c}
+}
 
-// NewLock returns a cooperative lock bound to the runtime.
-func (c *AppContext) NewLock() *Lock { return NewLock(c.rt) }
+// NewLock returns a cooperative lock bound to the instance: a task
+// parked on it yields the instance baton to the lock's owner.
+func (c *AppContext) NewLock() *Lock {
+	l := NewLock(c.rt)
+	l.ctx = c
+	return l
+}
 
 // Killed reports whether the instance has been stopped.
 func (c *AppContext) Killed() bool {
@@ -132,6 +242,8 @@ func (w *goWrap) exec() {
 	if c.Killed() {
 		return
 	}
+	c.acquireBaton()
+	defer c.releaseBaton()
 	fn()
 }
 
@@ -152,6 +264,8 @@ func (c *AppContext) After(d time.Duration, fn func()) (cancel func()) {
 		if c.Killed() {
 			return
 		}
+		c.acquireBaton()
+		defer c.releaseBaton()
 		fn()
 	})
 	c.mu.Lock()
@@ -162,19 +276,28 @@ func (c *AppContext) After(d time.Duration, fn func()) (cancel func()) {
 
 // Periodic runs fn every interval until stopped or the instance is killed
 // (the paper's events.periodic). fn runs as a task, so it may block.
+// It is safe under LiveRuntime: the stop flag and the re-armed timer are
+// guarded, so a stop() (or Kill) racing a tick can neither be missed by
+// the next re-arm nor leave a live timer behind.
 func (c *AppContext) Periodic(interval time.Duration, fn func()) (stop func()) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("core: non-positive periodic interval %s", interval))
 	}
+	var mu sync.Mutex
 	stopped := false
 	var cancel func()
 	var tick func()
 	tick = func() {
+		mu.Lock()
+		defer mu.Unlock()
 		if stopped || c.Killed() {
 			return
 		}
 		cancel = c.rt.After(interval, func() {
-			if stopped || c.Killed() {
+			mu.Lock()
+			dead := stopped
+			mu.Unlock()
+			if dead || c.Killed() {
 				return
 			}
 			c.Go(fn)
@@ -183,9 +306,12 @@ func (c *AppContext) Periodic(interval time.Duration, fn func()) (stop func()) {
 	}
 	tick()
 	stopFn := func() {
+		mu.Lock()
 		stopped = true
-		if cancel != nil {
-			cancel()
+		cc := cancel
+		mu.Unlock()
+		if cc != nil {
+			cc()
 		}
 	}
 	c.mu.Lock()
@@ -243,7 +369,9 @@ func StartInstance(rt Runtime, node transport.Node, job JobInfo, log Logger, app
 	ctx := NewAppContext(rt, node, job, log)
 	inst := &Instance{Ctx: ctx}
 	rt.Go(func() {
+		ctx.acquireBaton()
 		err := app.Run(ctx)
+		ctx.releaseBaton()
 		inst.mu.Lock()
 		inst.done, inst.err = true, err
 		inst.mu.Unlock()

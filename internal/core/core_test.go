@@ -196,9 +196,11 @@ func TestInstanceKillStopsApp(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	r := NewRegistry()
-	r.Register("echo", func(params json.RawMessage) (App, error) {
+	if err := r.Register("echo", func(params json.RawMessage) (App, error) {
 		return AppFunc(func(*AppContext) error { return nil }), nil
-	})
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
 	if _, err := r.New("echo", nil); err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -208,12 +210,20 @@ func TestRegistry(t *testing.T) {
 	if names := r.Names(); len(names) != 1 || names[0] != "echo" {
 		t.Fatalf("Names = %v", names)
 	}
+	// A duplicate must be rejected, and must not clobber the original
+	// factory: the first registration keeps working afterwards.
+	if err := r.Register("echo", nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if app, err := r.New("echo", nil); err != nil || app == nil {
+		t.Fatalf("original factory clobbered by rejected duplicate: app=%v err=%v", app, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("duplicate registration did not panic")
+			t.Fatal("MustRegister duplicate did not panic")
 		}
 	}()
-	r.Register("echo", nil)
+	r.MustRegister("echo", nil)
 }
 
 func TestLiveWaiter(t *testing.T) {

@@ -9,7 +9,8 @@ import "sync"
 // works under both runtimes.
 type Lock struct {
 	rt      Runtime
-	mu      sync.Mutex // protects state under LiveRuntime
+	ctx     *AppContext // when instance-bound: yield the baton while parked
+	mu      sync.Mutex  // protects state under LiveRuntime
 	held    bool
 	waiters []Waiter
 }
@@ -17,7 +18,9 @@ type Lock struct {
 // NewLock returns an unlocked lock bound to the runtime.
 func NewLock(rt Runtime) *Lock { return &Lock{rt: rt} }
 
-// Lock blocks the calling task until the lock is acquired.
+// Lock blocks the calling task until the lock is acquired. An
+// instance-bound lock (AppContext.NewLock) yields the instance baton
+// while parked, so the owner can run and release.
 func (l *Lock) Lock() {
 	l.mu.Lock()
 	if !l.held {
@@ -28,7 +31,11 @@ func (l *Lock) Lock() {
 	w := l.rt.NewWaiter()
 	l.waiters = append(l.waiters, w)
 	l.mu.Unlock()
+	held := l.ctx != nil && l.ctx.yieldBaton()
 	w.Wait()
+	if held {
+		l.ctx.acquireBaton()
+	}
 }
 
 // TryLock acquires the lock if it is free and reports whether it did.

@@ -26,15 +26,26 @@ func NewRegistry() *Registry {
 	return &Registry{factories: make(map[string]Factory)}
 }
 
-// Register adds a factory under name; registering a duplicate name is a
-// programming error and panics.
-func (r *Registry) Register(name string, f Factory) {
+// Register adds a factory under name. Registering a duplicate name is
+// rejected with an error instead of silently replacing the existing
+// factory: a daemon whose registry lost an application mid-flight would
+// instantiate the wrong code under the old job descriptor.
+func (r *Registry) Register(name string, f Factory) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.factories[name]; dup {
-		panic(fmt.Sprintf("core: duplicate app registration %q", name))
+		return fmt.Errorf("core: duplicate app registration %q", name)
 	}
 	r.factories[name] = f
+	return nil
+}
+
+// MustRegister is Register for static registration tables, where a
+// duplicate is a programming error: it panics instead of returning it.
+func (r *Registry) MustRegister(name string, f Factory) {
+	if err := r.Register(name, f); err != nil {
+		panic(err)
+	}
 }
 
 // New instantiates the named application.

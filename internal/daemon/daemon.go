@@ -56,6 +56,11 @@ type Config struct {
 	FS  sandbox.FSLimits
 	// DialTimeout bounds the controller connection attempt.
 	DialTimeout time.Duration
+	// ProbePorts makes job registration verify a candidate port is
+	// actually bindable before granting it, skipping busy ones. Several
+	// daemons sharing one real machine (the loopback testbed) would
+	// otherwise grant ports other processes already own.
+	ProbePorts bool
 }
 
 // DefaultConfig fills ports and timeouts.
@@ -241,13 +246,35 @@ func (d *Daemon) register(job *ctlproto.Job) *ctlproto.Msg {
 	if _, ok := d.jobs[job.ID]; ok {
 		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "already registered"}
 	}
-	port := d.nextPort
-	d.nextPort++
-	if d.nextPort > d.cfg.PortHigh {
-		d.nextPort = d.cfg.PortLow
+	port, ok := d.grantPort()
+	if !ok {
+		return &ctlproto.Msg{Type: ctlproto.TErr, Err: "no free port in range"}
 	}
 	d.jobs[job.ID] = &runningJob{job: job, port: port}
 	return &ctlproto.Msg{Type: ctlproto.TAck, Port: port}
+}
+
+// grantPort hands out the next port of the administrator's range,
+// optionally probing each candidate for bindability (ProbePorts). Called
+// under d.mu; the probe itself is a bind+close on the local stack.
+func (d *Daemon) grantPort() (int, bool) {
+	span := d.cfg.PortHigh - d.cfg.PortLow + 1
+	for tries := 0; tries < span; tries++ {
+		port := d.nextPort
+		d.nextPort++
+		if d.nextPort > d.cfg.PortHigh {
+			d.nextPort = d.cfg.PortLow
+		}
+		if d.cfg.ProbePorts {
+			ln, err := d.node.Listen(port)
+			if err != nil {
+				continue
+			}
+			ln.Close()
+		}
+		return port, true
+	}
+	return 0, false
 }
 
 // list installs the bootstrap information.

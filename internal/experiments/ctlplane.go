@@ -1,17 +1,11 @@
 package experiments
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"time"
 
-	"github.com/splaykit/splay/internal/controller"
-	"github.com/splaykit/splay/internal/core"
-	"github.com/splaykit/splay/internal/daemon"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
-	"github.com/splaykit/splay/internal/topology"
-	"github.com/splaykit/splay/internal/transport"
+	splay "github.com/splaykit/splay"
 )
 
 func init() {
@@ -62,80 +56,46 @@ type ctlplaneRun struct {
 	frames int64           // controller frames written during deployment
 }
 
-// runCtlplane deploys one job through a live controller onto n simulated
-// daemons and reports the §5.2 deployment-time measures.
+// runCtlplane deploys one job through the scenario SDK onto n simulated
+// daemons and reports the §5.2 deployment-time measures. The deployed
+// app records when its first instruction runs; the delay from Submit is
+// the per-node deployment time.
 func runCtlplane(n, nodes int, seed int64) (*ctlplaneRun, error) {
-	k := sim.NewKernel()
-	plCfg := topology.DefaultPlanetLab(n + 1)
-	plCfg.Seed = seed
-	pl := topology.NewPlanetLab(plCfg)
-	nw := simnet.New(k, pl, n+1, seed)
-	nw.SetProcDelay(pl.ProcDelay)
-	rt := core.NewSimRuntime(k, seed)
-
-	// The deployed app records when its first instruction runs; the delay
-	// from Submit is the §5.2 per-node deployment time.
-	var submitAt time.Time
 	run := &ctlplaneRun{}
-	reg := core.NewRegistry()
-	reg.Register("ctlapp", func(json.RawMessage) (core.App, error) {
-		return core.AppFunc(func(ctx *core.AppContext) error {
-			run.delays = append(run.delays, ctx.Now().Sub(submitAt))
-			return nil
-		}), nil
-	})
+	var dep *splay.Deployment // set before any instance runs
+	sc := splay.Scenario{
+		Seed:    seed,
+		Testbed: splay.PlanetLab(n),
+		// The PlanetLab slowness tail reaches ten seconds per probe; give
+		// the superset machinery headroom at 5,000 daemons.
+		RegisterTimeout: 60 * time.Second,
+		Apps: []splay.AppSpec{{
+			Name:  "ctlapp",
+			Nodes: nodes,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				run.delays = append(run.delays, env.Now().Sub(dep.SubmittedAt()))
+				return nil
+			}),
+		}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Stop()
 
-	cfg := controller.DefaultConfig()
-	// The PlanetLab slowness tail reaches ten seconds per probe; give the
-	// superset machinery headroom at 5,000 daemons.
-	cfg.RegisterTimeout = 60 * time.Second
-	ctl := controller.New(rt, nw.Node(0), cfg)
-	var startErr error
-	k.Go(func() { startErr = ctl.Start() })
-	ctlAddr := transport.Addr{Host: simnet.HostName(0), Port: cfg.Port}
-	for i := 1; i <= n; i++ {
-		d := daemon.New(rt, nw.Node(i), reg, daemon.DefaultConfig(simnet.HostName(i)), nil)
-		k.GoAfter(time.Duration(i)*2*time.Millisecond, func() {
-			d.Connect(ctlAddr) //nolint:errcheck
-		})
+	dep = sess.Deploy(sc.Apps[0])
+	job, err := dep.Wait()
+	if err != nil {
+		return nil, err
 	}
-	// Connect window plus one full ping rotation, so selection has
-	// measured responsiveness for every daemon.
-	k.RunFor(45 * time.Second)
-	if startErr != nil {
-		return nil, startErr
-	}
-	if got := ctl.Daemons(); got != n {
-		return nil, fmt.Errorf("only %d/%d daemons connected", got, n)
-	}
-
-	framesBefore := ctl.FramesSent()
-	var job *controller.JobStatus
-	var subErr error
-	done := false
-	k.Go(func() {
-		submitAt = rt.Now()
-		job, subErr = ctl.Submit(controller.JobSpec{App: "ctlapp", Nodes: nodes})
-		// Snapshot the frame counter at completion so steady-state ping
-		// traffic after the deployment does not pollute the load figure.
-		run.frames = ctl.FramesSent() - framesBefore
-		done = true
-	})
-	for i := 0; i < 30 && !done; i++ {
-		k.RunFor(10 * time.Second)
-	}
-	if !done {
-		return nil, fmt.Errorf("deployment did not finish within the run window")
-	}
-	if subErr != nil {
-		return nil, subErr
-	}
-	if job.State != controller.JobRunning {
+	if job.State != splay.JobRunning {
 		return nil, fmt.Errorf("job did not reach running")
 	}
 	if len(run.delays) != nodes {
 		return nil, fmt.Errorf("%d instances started, want %d", len(run.delays), nodes)
 	}
-	run.submit = job.StartedAt.Sub(submitAt)
+	run.frames = dep.Frames()
+	run.submit = job.StartedAt.Sub(dep.SubmittedAt())
 	return run, nil
 }

@@ -1,22 +1,15 @@
 package experiments
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
-	"github.com/splaykit/splay/internal/controller"
-	"github.com/splaykit/splay/internal/core"
-	"github.com/splaykit/splay/internal/daemon"
-	"github.com/splaykit/splay/internal/metrics"
+	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/protocols/chord"
 	"github.com/splaykit/splay/internal/rpc"
-	"github.com/splaykit/splay/internal/sim"
-	"github.com/splaykit/splay/internal/simnet"
-	"github.com/splaykit/splay/internal/topology"
-	"github.com/splaykit/splay/internal/transport"
 )
 
 func init() {
@@ -35,11 +28,11 @@ const (
 )
 
 // obsplane measures the observability plane itself at control-plane
-// scale, ACME-style: a real controller deploys an *instrumented* Chord
-// onto 60% of a 5,000-daemon simulated PlanetLab testbed. Every
-// deployed instance carries a metrics registry (chord route/latency
-// instruments plus the RPC message-plane set), and streams batched
-// delta reports to an aggregator on a dedicated monitoring host — the
+// scale, ACME-style: a scenario deploys an *instrumented* Chord onto 60%
+// of a 5,000-daemon simulated PlanetLab testbed. Every deployed instance
+// carries a metrics registry (chord route/latency instruments plus the
+// RPC message-plane set), and streams batched delta reports to the
+// scenario's aggregator on a dedicated monitoring host — the
 // controller's own host is blacklisted for applications, so the plane
 // gets a sibling service exactly like ACME's separation of control and
 // sensing. The controller reports its own instruments (deploy latency,
@@ -102,149 +95,76 @@ type obsplaneRun struct {
 	ctlFramesPerDaemon float64
 }
 
-// runObsplane deploys and monitors one population.
+// runObsplane deploys and monitors one population through the scenario
+// SDK: Collect.Metrics provisions the monitoring host, the aggregator
+// and the controller's self-reporting stream; each instance wires its
+// own registry and calls Env.StartReporting.
 func runObsplane(w io.Writer, n, nodes int, seed int64) (*obsplaneRun, error) {
-	k := sim.NewKernel()
-	// Host 0: controller. Host 1: the monitoring host (aggregator).
-	// Hosts 2..n+1: daemons.
-	plCfg := topology.DefaultPlanetLab(n + 2)
-	plCfg.Seed = seed
-	pl := topology.NewPlanetLab(plCfg)
-	nw := simnet.New(k, pl, n+2, seed)
-	nw.SetProcDelay(pl.ProcDelay)
-	rt := core.NewSimRuntime(k, seed)
-
-	// Network-global instruments, read directly at the end: the ground
-	// truth monitoring overhead is measured against.
-	netReg := metrics.NewRegistry()
-	netIns := simnet.NewInstruments(netReg)
-	nw.SetInstruments(netIns)
-
-	var agg *metrics.Aggregator
-	k.Go(func() {
-		var err error
-		agg, err = metrics.NewAggregator(nw.Node(1), obsAggPort, k.Go)
-		if err == nil {
-			agg.Authorize(obsKey)
-		}
-	})
-	k.Run()
-	if agg == nil {
-		return nil, fmt.Errorf("aggregator failed to start")
-	}
-	aggAddr := transport.Addr{Host: simnet.HostName(1), Port: obsAggPort}
-
-	// Controller instruments plus fleet-wide daemon accounting share one
-	// registry, reported over the wire like every application stream.
-	ctlReg := metrics.NewRegistry()
-	cfg := controller.DefaultConfig()
-	cfg.RegisterTimeout = 60 * time.Second // PlanetLab tail headroom at 5,000
-	ctl := controller.New(rt, nw.Node(0), cfg)
-	ctl.SetInstruments(controller.NewInstruments(ctlReg))
-	dmnIns := daemon.NewInstruments(ctlReg)
-	// One instrument set is shared by the whole fleet, so the counters
-	// sum correctly but the per-daemon jobs gauge would just be clobbered
-	// by whichever daemon Set it last — disable it.
-	dmnIns.Jobs = nil
-	var startErr error
-	k.Go(func() {
-		startErr = ctl.Start()
-		if startErr != nil {
-			return
-		}
-		ctlRep, err := metrics.DialReporter(nw.Node(0), aggAddr, ctlReg,
-			metrics.ReporterConfig{Key: obsKey, Node: "ctl"})
-		if err != nil {
-			startErr = err
-			return
-		}
-		for {
-			k.Sleep(obsReportEvery)
-			ctlRep.Flush() //nolint:errcheck // monitoring is best effort
-		}
-	})
-
-	// The deployed application: an instrumented Chord node that streams
-	// its registry to the aggregator.
 	var chordNodes []*chord.Node
-	appReg := core.NewRegistry()
-	appReg.Register("obschord", func(json.RawMessage) (core.App, error) {
-		return core.AppFunc(func(ctx *core.AppContext) error {
-			ccfg := chord.DefaultConfig()
-			ccfg.Bits = obsBits
-			node, err := chord.New(ctx, ccfg)
-			if err != nil {
-				return err
-			}
-			mreg := metrics.NewRegistry()
-			node.SetInstruments(chord.NewInstruments(mreg))
-			node.SetRPCInstruments(rpc.NewInstruments(mreg))
-			if err := node.Start(); err != nil {
-				return err
-			}
-			rep, err := metrics.DialReporter(ctx.Node(), aggAddr, mreg,
-				metrics.ReporterConfig{Key: obsKey, Node: ctx.Job.Me.Host})
-			if err != nil {
-				return err
-			}
-			ctx.Track(rep)
-			ctx.Periodic(obsReportEvery, func() { rep.Flush() }) //nolint:errcheck
-			chordNodes = append(chordNodes, node)
-			return nil
-		}), nil
-	})
+	sc := splay.Scenario{
+		Seed:            seed,
+		Testbed:         splay.PlanetLab(n),
+		RegisterTimeout: 60 * time.Second, // PlanetLab tail headroom at 5,000
+		Collect: splay.Collect{
+			Metrics:     true,
+			ReportEvery: obsReportEvery,
+			Key:         obsKey,
+			MetricsPort: obsAggPort,
+		},
+		Apps: []splay.AppSpec{{
+			Name:  "obschord",
+			Nodes: nodes,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				ccfg := chord.DefaultConfig()
+				ccfg.Bits = obsBits
+				node, err := chord.New(env.AppContext(), ccfg)
+				if err != nil {
+					return err
+				}
+				mreg := env.Metrics()
+				node.SetInstruments(chord.NewInstruments(mreg))
+				node.SetRPCInstruments(rpc.NewInstruments(mreg))
+				if err := node.Start(); err != nil {
+					return err
+				}
+				if err := env.StartReporting(); err != nil {
+					return err
+				}
+				chordNodes = append(chordNodes, node)
+				return nil
+			}),
+		}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Stop()
 
-	ctlAddr := transport.Addr{Host: simnet.HostName(0), Port: cfg.Port}
-	for i := 2; i <= n+1; i++ {
-		d := daemon.New(rt, nw.Node(i), appReg, daemon.DefaultConfig(simnet.HostName(i)), nil)
-		d.SetInstruments(dmnIns)
-		k.GoAfter(time.Duration(i)*2*time.Millisecond, func() {
-			d.Connect(ctlAddr) //nolint:errcheck
-		})
+	dep := sess.Deploy(sc.Apps[0])
+	job, err := dep.Wait()
+	if err != nil {
+		return nil, err
 	}
-	// Connect window plus one ping rotation so selection has RTTs.
-	k.RunFor(45 * time.Second)
-	if startErr != nil {
-		return nil, startErr
-	}
-	if got := ctl.Daemons(); got != n {
-		return nil, fmt.Errorf("only %d/%d daemons connected", got, n)
-	}
-
-	var job *controller.JobStatus
-	var subErr error
-	done := false
-	k.Go(func() {
-		job, subErr = ctl.Submit(controller.JobSpec{App: "obschord", Nodes: nodes})
-		done = true
-	})
-	for i := 0; i < 30 && !done; i++ {
-		k.RunFor(10 * time.Second)
-	}
-	if !done {
-		return nil, fmt.Errorf("deployment did not finish within the run window")
-	}
-	if subErr != nil {
-		return nil, subErr
-	}
-	if job.State != controller.JobRunning || len(chordNodes) != nodes {
+	if job.State != splay.JobRunning || len(chordNodes) != nodes {
 		return nil, fmt.Errorf("deployed %d instances (state %s), want %d running",
 			len(chordNodes), job.State, nodes)
 	}
+	tel := sess.Telemetry()
 
 	// Converge the ring statically (§5.2's "let the overlay stabilize")
 	// and issue lookups from every node, staggered like fig6.
 	if err := chord.BuildRing(chordNodes, chord.BuildOptions{}); err != nil {
 		return nil, err
 	}
-	watchStart := k.Now()
-	f0, b0 := agg.Received()
+	watchStart := sess.Now()
+	f0, b0 := tel.Received()
 	remaining := nodes
 	rng := rand.New(rand.NewSource(seed))
 	for i := range chordNodes {
 		node := chordNodes[i]
 		start := time.Duration(rng.Intn(int(obsSpread/time.Millisecond))) * time.Millisecond
-		k.GoAfter(start, func() {
+		sess.GoAfter(start, func() {
 			lrng := rand.New(rand.NewSource(seed + int64(node.Self().ID)))
 			for j := 0; j < obsLookups; j++ {
 				key := lrng.Uint64() & (1<<obsBits - 1)
@@ -259,62 +179,62 @@ func runObsplane(w io.Writer, n, nodes int, seed int64) (*obsplaneRun, error) {
 	fmt.Fprintf(w, "%-8s %8s %9s %10s %10s %10s %10s\n",
 		"t", "nodes", "lookups", "mean-hops", "p50", "p90", "frames")
 	watch := func() {
-		count, sum := agg.HistStats("chord.hops")
+		count, sum := tel.HistStats("chord.hops")
 		mean := 0.0
 		if count > 0 {
 			mean = float64(sum) / float64(count)
 		}
-		lat := agg.HistSorted("chord.lookup_latency_ns")
-		frames, _ := agg.Received()
+		lat := tel.Series("chord.lookup_latency_ns")
+		frames, _ := tel.Received()
 		fmt.Fprintf(w, "%-8s %8d %9d %10.2f %10s %10s %10d\n",
-			k.Now().Sub(watchStart).Round(time.Second), agg.Nodes(),
-			agg.CounterTotal("chord.lookups"), mean,
+			sess.Now().Sub(watchStart).Round(time.Second), tel.Nodes(),
+			tel.Counter("chord.lookups"), mean,
 			r(lat.Percentile(50)), r(lat.Percentile(90)), frames-f0)
 	}
 	for t := obsWatchEvery; t <= 4*obsWatchEvery; t += obsWatchEvery {
-		k.RunFor(obsWatchEvery)
+		sess.RunFor(obsWatchEvery)
 		watch()
 	}
 	for i := 0; i < 30 && remaining > 0; i++ {
-		k.RunFor(10 * time.Second)
+		sess.RunFor(10 * time.Second)
 	}
 	if remaining > 0 {
 		return nil, fmt.Errorf("%d lookup drivers still running", remaining)
 	}
 	// Drain: two report periods so every periodic flush ships its last
 	// deltas, then close the books.
-	k.RunFor(2*obsReportEvery + time.Second)
+	sess.RunFor(2*obsReportEvery + time.Second)
 	watch()
 
-	f1, b1 := agg.Received()
-	window := k.Now().Sub(watchStart).Seconds()
-	reporting := float64(agg.Nodes()) // chord instances + the controller
+	f1, b1 := tel.Received()
+	window := sess.Now().Sub(watchStart).Seconds()
+	reporting := float64(tel.Nodes()) // chord instances + the controller
 
 	run := &obsplaneRun{}
-	run.lookups = float64(agg.CounterTotal("chord.lookups"))
-	run.failed = float64(agg.CounterTotal("chord.failed_lookups"))
-	count, sum := agg.HistStats("chord.hops")
+	run.lookups = float64(tel.Counter("chord.lookups"))
+	run.failed = float64(tel.Counter("chord.failed_lookups"))
+	count, sum := tel.HistStats("chord.hops")
 	if count > 0 {
 		run.meanHops = float64(sum) / float64(count)
 	}
-	run.hopsP99 = float64(agg.HistSorted("chord.hops").Percentile(99))
-	lat := agg.HistSorted("chord.lookup_latency_ns")
+	run.hopsP99 = float64(tel.Series("chord.hops").Percentile(99))
+	lat := tel.Series("chord.lookup_latency_ns")
 	run.p50ns = int64(lat.Percentile(50))
 	run.p90ns = int64(lat.Percentile(90))
-	run.rpcCalls = float64(agg.CounterTotal("rpc.calls"))
+	run.rpcCalls = float64(tel.Counter("rpc.calls"))
 	run.framesPerNodeSec = float64(f1-f0) / reporting / window
 	run.bytesPerNodeSec = float64(b1-b0) / reporting / window
-	if total := netIns.StreamBytes.Total(); total > 0 {
+	if total := sess.NetBytes(); total > 0 {
 		run.byteShare = float64(b1) / float64(total)
 	}
-	run.jobsStarted = float64(agg.CounterTotal("daemon.jobs_started"))
-	run.ctlFramesPerDaemon = float64(agg.CounterTotal("ctl.frames")) / float64(n)
+	run.jobsStarted = float64(tel.Counter("daemon.jobs_started"))
+	run.ctlFramesPerDaemon = float64(tel.Counter("ctl.frames")) / float64(n)
 
 	// The plane must have carried every stream and every instrument:
 	// all deployed instances plus the controller reported, the fleet
 	// accounting matches the deployment, and every lookup was observed.
-	if agg.Nodes() != nodes+1 {
-		return nil, fmt.Errorf("%d streams reported, want %d", agg.Nodes(), nodes+1)
+	if tel.Nodes() != nodes+1 {
+		return nil, fmt.Errorf("%d streams reported, want %d", tel.Nodes(), nodes+1)
 	}
 	if int(run.jobsStarted) != nodes {
 		return nil, fmt.Errorf("fleet accounting saw %d jobs, want %d", int(run.jobsStarted), nodes)

@@ -24,6 +24,12 @@ type Client struct {
 	// level (the call then fails by timeout).
 	DropRate float64
 
+	// mu guards the pool and every peerConn's mutable state under
+	// LiveRuntime, where caller tasks and read loops are real
+	// goroutines. It is held only across memory operations — never a
+	// dial, an encode, or a waiter Wait — so the cooperative event
+	// order in simulation is untouched.
+	mu       sync.Mutex
 	pooling  bool
 	peers    map[transport.Addr]*peerConn
 	ins      Instruments
@@ -103,26 +109,49 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 	if !c.pooling {
 		pc := newPeerConn(c, to, false)
 		pc.dial(timeout)
-		return pc, pc.err
+		return pc, pc.lastErr()
 	}
+	c.mu.Lock()
 	pc, ok := c.peers[to]
 	if ok && !pc.broken {
 		if pc.ready {
+			c.mu.Unlock()
 			return pc, nil
 		}
+		c.mu.Unlock()
 		// Another task is dialing; wait for the verdict.
 		w := c.ctx.NewWaiter()
 		w.WakeAfter(timeout, error(ErrTimeout))
+		c.mu.Lock()
+		switch {
+		case pc.broken:
+			// The dial failed while we armed: consume our waiter
+			// deterministically (it must reach Wait before recycling)
+			// and report the verdict.
+			err := pc.err
+			c.mu.Unlock()
+			w.Wake(err)
+			w.Wait() //nolint:errcheck
+			return nil, err
+		case pc.ready:
+			c.mu.Unlock()
+			w.Wake(nil)
+			w.Wait() //nolint:errcheck
+			return pc, nil
+		}
 		pc.dialWaiters = append(pc.dialWaiters, w)
+		c.mu.Unlock()
 		if v := w.Wait(); v != nil {
 			// Timed out before the dial verdict: drop our (now recycled,
 			// pooled) waiter from the list so the verdict cannot touch it.
+			c.mu.Lock()
 			for i, dw := range pc.dialWaiters {
 				if dw == w {
 					pc.dialWaiters = append(pc.dialWaiters[:i], pc.dialWaiters[i+1:]...)
 					break
 				}
 			}
+			c.mu.Unlock()
 			return nil, v.(error)
 		}
 		return pc, nil
@@ -140,9 +169,10 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		}
 		c.redialed[to] = true
 	}
+	c.mu.Unlock()
 	pc.dial(timeout)
-	if pc.err != nil {
-		return nil, pc.err
+	if err := pc.lastErr(); err != nil {
+		return nil, err
 	}
 	return pc, nil
 }
@@ -157,6 +187,8 @@ type peerConn struct {
 	enc     *llenc.Writer
 	wlock   *core.Lock
 	scratch request // encode staging; guarded by wlock so &scratch never escapes a call
+	encFn   func()  // encodes scratch into encErr; run under wlock + ctx.Blocking
+	encErr  error   // guarded by wlock
 
 	ready       bool
 	broken      bool
@@ -168,53 +200,89 @@ type peerConn struct {
 }
 
 func newPeerConn(c *Client, to transport.Addr, pooled bool) *peerConn {
-	return &peerConn{
+	// The write lock is instance-bound: a task parked on it yields the
+	// instance baton, so the current writer (who holds the baton inside
+	// its Blocking section) can finish.
+	p := &peerConn{
 		client:  c,
 		to:      to,
 		pooled:  pooled,
-		wlock:   core.NewLock(c.ctx.Runtime()),
+		wlock:   c.ctx.NewLock(),
 		pending: make(map[uint64]core.Waiter),
 	}
+	p.encFn = func() { p.encErr = p.enc.Encode(&p.scratch) }
+	return p
 }
 
 func (p *peerConn) dial(timeout time.Duration) {
-	conn, err := p.client.ctx.Node().Dial(p.to, timeout)
+	var conn transport.Conn
+	var err error
+	// The dial may block for the whole timeout live: yield the baton.
+	p.client.ctx.Blocking(func() {
+		conn, err = p.client.ctx.Node().Dial(p.to, timeout)
+	})
 	if err != nil {
 		p.fail(fmt.Errorf("rpc: dial %s: %w", p.to, err))
 		return
 	}
 	conn = p.client.ins.meter(conn)
+	p.client.mu.Lock()
 	p.conn = conn
-	p.client.ctx.Track(conn)
 	p.enc = llenc.NewWriter(conn)
 	p.ready = true
-	for _, w := range p.dialWaiters {
+	ws := p.dialWaiters
+	p.dialWaiters = nil
+	p.client.mu.Unlock()
+	p.client.ctx.Track(conn)
+	for _, w := range ws {
 		w.Wake(nil)
 	}
-	p.dialWaiters = nil
 	p.client.ctx.Go(p.readLoop)
+}
+
+// lastErr reads the connection's verdict under the client lock.
+func (p *peerConn) lastErr() error {
+	p.client.mu.Lock()
+	defer p.client.mu.Unlock()
+	return p.err
 }
 
 // fail marks the connection dead and propagates the error to every waiter.
 func (p *peerConn) fail(err error) {
+	c := p.client
+	c.mu.Lock()
 	if p.broken {
+		c.mu.Unlock()
 		return
 	}
 	p.broken = true
 	p.err = err
 	if p.pooled {
-		delete(p.client.peers, p.to)
+		delete(c.peers, p.to)
 	}
-	if p.conn != nil {
-		p.conn.Close()
-	}
-	for _, w := range p.dialWaiters {
-		w.Wake(err)
-	}
+	conn := p.conn
+	dws := p.dialWaiters
 	p.dialWaiters = nil
+	type idWaiter struct {
+		id uint64
+		w  core.Waiter
+	}
+	var pend []idWaiter
 	for id, w := range p.pending {
-		delete(p.pending, id)
+		pend = append(pend, idWaiter{id, w})
+	}
+	for _, iw := range pend {
+		delete(p.pending, iw.id)
+	}
+	c.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, w := range dws {
 		w.Wake(err)
+	}
+	for _, iw := range pend {
+		iw.w.Wake(err)
 	}
 }
 
@@ -230,8 +298,13 @@ func putResp(r *response) {
 
 func (p *peerConn) readLoop() {
 	dec := llenc.NewReader(p.conn)
+	var payload []byte
+	var err error
+	read := func() { payload, err = dec.ReadMessage() }
 	for {
-		payload, err := dec.ReadMessage()
+		// Yield the instance baton across the blocking read (one
+		// closure per connection, so the loop stays allocation-free).
+		p.client.ctx.Blocking(read)
 		if err != nil {
 			p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
 			return
@@ -245,12 +318,16 @@ func (p *peerConn) readLoop() {
 				return
 			}
 		}
+		p.client.mu.Lock()
 		w, ok := p.pending[resp.ID]
+		if ok {
+			delete(p.pending, resp.ID)
+		}
+		p.client.mu.Unlock()
 		if !ok {
 			putResp(resp) // response after the caller timed out
 			continue
 		}
-		delete(p.pending, resp.ID)
 		if !w.Wake(resp) {
 			putResp(resp)
 		}
@@ -266,11 +343,18 @@ func (p *peerConn) readLoop() {
 func (p *peerConn) send(req request) bool {
 	p.wlock.Lock()
 	p.scratch = req
-	err := p.enc.Encode(&p.scratch)
+	// Yield the instance baton across the (live-)blocking socket write:
+	// holding it would stall every other task of the instance — and
+	// deadlock outright if both ends of a connection filled their TCP
+	// buffers, since the read loops could never drain them.
+	p.client.ctx.Blocking(p.encFn)
+	err := p.encErr
 	p.scratch.Args = nil // drop argument references
 	p.wlock.Unlock()
 	if err != nil {
+		p.client.mu.Lock()
 		delete(p.pending, req.ID)
+		p.client.mu.Unlock()
 		p.fail(fmt.Errorf("rpc: send to %s: %w", p.to, err))
 		return false
 	}
@@ -278,17 +362,34 @@ func (p *peerConn) send(req request) bool {
 }
 
 func (p *peerConn) call(timeout time.Duration, method string, args []any) (Result, error) {
+	c := p.client
+	c.mu.Lock()
 	if p.broken {
-		return nil, p.err
+		err := p.err
+		c.mu.Unlock()
+		return nil, err
 	}
 	p.nextID++
 	id := p.nextID
-	w := p.client.ctx.NewWaiter()
+	c.mu.Unlock()
+	w := c.ctx.NewWaiter()
 	w.WakeAfter(timeout, error(ErrTimeout))
+	c.mu.Lock()
+	if p.broken {
+		// The connection died while we armed (live): fail fast instead
+		// of inserting into a map fail() has already drained and dying
+		// by timeout. The waiter is consumed deterministically.
+		err := p.err
+		c.mu.Unlock()
+		w.Wake(err)
+		w.Wait() //nolint:errcheck
+		return nil, err
+	}
 	p.pending[id] = w
+	c.mu.Unlock()
 
 	if !p.send(request{ID: id, Method: method, Args: args}) {
-		return nil, p.err
+		return nil, p.lastErr()
 	}
 
 	switch v := w.Wait().(type) {
@@ -303,7 +404,9 @@ func (p *peerConn) call(timeout time.Duration, method string, args []any) (Resul
 		}
 		return Result(result), nil
 	case error:
+		c.mu.Lock()
 		delete(p.pending, id)
+		c.mu.Unlock()
 		if !p.pooled {
 			p.conn.Close()
 		}

@@ -209,13 +209,20 @@ func (s *Server) Start(port int) error {
 	s.ln = ln
 	s.ctx.Track(ln)
 	s.ctx.Go(func() {
+		var conn transport.Conn
+		var aerr error
+		accept := func() { conn, aerr = ln.Accept() }
 		for {
-			conn, err := ln.Accept()
-			if err != nil {
+			// The baton is yielded across the blocking accept so the
+			// instance's other tasks run meanwhile (live; a plain park
+			// in simulation).
+			s.ctx.Blocking(accept)
+			if aerr != nil {
 				return
 			}
-			s.ctx.Track(conn)
-			s.ctx.Go(func() { s.serveConn(conn) })
+			c := conn
+			s.ctx.Track(c)
+			s.ctx.Go(func() { s.serveConn(c) })
 		}
 	})
 	return nil
@@ -242,9 +249,14 @@ func (s *Server) serveConn(conn transport.Conn) {
 	defer conn.Close()
 	conn = s.ins.meter(conn)
 	dec := llenc.NewReader(conn)
-	cw := &replyWriter{enc: llenc.NewWriter(conn)}
+	cw := newReplyWriter(llenc.NewWriter(conn))
+	var payload []byte
+	var err error
+	read := func() { payload, err = dec.ReadMessage() }
 	for {
-		payload, err := dec.ReadMessage()
+		// Yield the instance baton across the blocking read (one
+		// closure per connection, so the loop stays allocation-free).
+		s.ctx.Blocking(read)
 		if err != nil {
 			return
 		}
@@ -349,14 +361,32 @@ func (j *reqJob) exec() {
 // idle becomes the flusher and drains everything queued behind it — the
 // same coalescing the controller's pipelined Submit uses. The mutex is
 // never held across Encode (which blocks in virtual time), so enqueuing
-// never parks a task.
+// never parks a task; live, the flusher yields the instance baton across
+// the batch write (writeBatch is built once per connection), so a slow
+// receiver cannot stall the instance's other tasks or deadlock against
+// its read loop.
 type replyWriter struct {
-	enc *llenc.Writer
+	enc        *llenc.Writer
+	writeBatch func() // encodes wbatch; run under ctx.Blocking
 
 	mu       sync.Mutex
 	queue    []response
 	spare    []response // recycled batch backing
+	wbatch   []response // the flusher's current batch (flusher-only)
 	flushing bool
+}
+
+func newReplyWriter(enc *llenc.Writer) *replyWriter {
+	cw := &replyWriter{enc: enc}
+	cw.writeBatch = func() {
+		for i := range cw.wbatch {
+			// A dead conn is detected by the read loop; later frames
+			// just fail the same way.
+			cw.enc.Encode(&cw.wbatch[i]) //nolint:errcheck
+			cw.wbatch[i] = response{}    // drop Result references
+		}
+	}
+	return cw
 }
 
 func (s *Server) reply(cw *replyWriter, resp response) {
@@ -368,17 +398,13 @@ func (s *Server) reply(cw *replyWriter, resp response) {
 	}
 	cw.flushing = true
 	for len(cw.queue) > 0 {
-		batch := cw.queue
+		cw.wbatch = cw.queue
 		cw.queue = cw.spare[:0]
 		cw.mu.Unlock()
-		for i := range batch {
-			// A dead conn is detected by the read loop; later frames
-			// just fail the same way.
-			cw.enc.Encode(&batch[i]) //nolint:errcheck
-			batch[i] = response{}    // drop Result references
-		}
+		s.ctx.Blocking(cw.writeBatch)
 		cw.mu.Lock()
-		cw.spare = batch[:0]
+		cw.spare = cw.wbatch[:0]
+		cw.wbatch = nil
 	}
 	cw.flushing = false
 	cw.mu.Unlock()

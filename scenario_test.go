@@ -1,0 +1,211 @@
+package splay_test
+
+// Scenario tests: the declarative deployment chain on simulated and live
+// testbeds, sim↔live parity of the application-visible surface, churn
+// wiring, and registration error surfacing.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	splay "github.com/splaykit/splay"
+)
+
+// runParity executes one fixed scenario on the given testbed and returns
+// what the application observed, one line per instance, sorted.
+func runParity(t *testing.T, tb splay.Testbed) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var obs []string
+	sc := splay.Scenario{
+		Seed:    7,
+		Testbed: tb,
+		Apps: []splay.AppSpec{{
+			Name:  "parity",
+			Nodes: 2,
+			Env:   splay.EnvConfig{Caps: splay.CapNet}, // fs withheld
+			App: splay.AppFunc(func(env *splay.Env) error {
+				job := env.Job()
+				_, fsErr := env.FS()
+				var capErr *splay.CapabilityError
+				ln, netErr := env.Listen(0)
+				if netErr == nil {
+					ln.Close()
+				}
+				mu.Lock()
+				obs = append(obs, fmt.Sprintf("pos=%d nodes=%d port>0=%v fsdenied=%v net=%v",
+					job.Position, len(job.Nodes), job.Me.Port > 0,
+					errors.As(fsErr, &capErr), netErr == nil))
+				mu.Unlock()
+				return nil
+			}),
+		}},
+		Duration: time.Second,
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%T: %v", tb, err)
+	}
+	// Run stops jobs on the way out: a completed one-shot run reports done.
+	if len(res.Jobs) != 1 || res.Jobs[0].State != splay.JobDone {
+		t.Fatalf("%T: jobs = %+v", tb, res.Jobs)
+	}
+	if got := len(res.Jobs[0].Deployed); got != 2 {
+		t.Fatalf("%T: deployed %d instances, want 2", tb, got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	out := append([]string(nil), obs...)
+	sort.Strings(out)
+	return out
+}
+
+// TestScenarioSimLiveParity deploys the same scenario on a simulated and
+// a live testbed and checks the application-visible behavior — job info
+// shape, granted and denied capabilities — is identical.
+func TestScenarioSimLiveParity(t *testing.T) {
+	t.Parallel()
+	simObs := runParity(t, splay.Uniform(3, time.Millisecond, 0))
+	liveObs := runParity(t, splay.Live(3))
+	if len(simObs) != len(liveObs) {
+		t.Fatalf("sim saw %d instances, live %d", len(simObs), len(liveObs))
+	}
+	for i := range simObs {
+		if simObs[i] != liveObs[i] {
+			t.Errorf("parity drift:\n sim  %s\n live %s", simObs[i], liveObs[i])
+		}
+	}
+}
+
+// TestScenarioCollectsMetrics runs a simulated scenario whose app
+// reports instruments through Env.StartReporting and checks the
+// aggregated result surfaces them.
+func TestScenarioCollectsMetrics(t *testing.T) {
+	t.Parallel()
+	sc := splay.Scenario{
+		Testbed: splay.Uniform(4, 2*time.Millisecond, 0),
+		Collect: splay.Collect{Metrics: true, ReportEvery: time.Second},
+		Apps: []splay.AppSpec{{
+			Name:  "ticker",
+			Nodes: 3,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				ticks := env.Metrics().Counter("app.ticks")
+				if err := env.StartReporting(); err != nil {
+					return err
+				}
+				env.Periodic(500*time.Millisecond, func() { ticks.Inc() })
+				return nil
+			}),
+		}},
+		Duration: 10 * time.Second,
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no telemetry on a collecting scenario")
+	}
+	// 3 app streams + the controller's own.
+	if got := res.Metrics.Nodes(); got != 4 {
+		t.Errorf("reporting nodes = %d, want 4", got)
+	}
+	if got := res.Metrics.Counter("app.ticks"); got == 0 {
+		t.Error("aggregated tick counter is zero")
+	}
+	if got := res.Metrics.Counter("ctl.deploys"); got != 1 {
+		t.Errorf("controller stream deploys = %d, want 1", got)
+	}
+	if frames, bytes := res.Metrics.Received(); frames == 0 || bytes == 0 {
+		t.Errorf("plane carried %d frames / %d bytes", frames, bytes)
+	}
+}
+
+// TestScenarioChurn replays a small churn script against an inline app
+// and checks starts and kills both happen.
+func TestScenarioChurn(t *testing.T) {
+	t.Parallel()
+	churn, err := splay.ChurnScript("at 1s join 10\nat 30s leave 50%", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started, killed := 0, 0
+	sc := splay.Scenario{
+		Testbed: splay.Uniform(0, time.Millisecond, 0),
+		Churn:   churn,
+		Apps: []splay.AppSpec{{
+			Name: "churned",
+			App: splay.AppFunc(func(env *splay.Env) error {
+				started++
+				env.OnKill(func() { killed++ })
+				return nil
+			}),
+		}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	sess.RunFor(2 * time.Minute)
+	if started != 10 {
+		t.Errorf("started %d instances, want 10", started)
+	}
+	if killed != 5 {
+		t.Errorf("killed %d instances, want 5", killed)
+	}
+	if alive := sess.Daemons(); alive != 5 {
+		t.Errorf("alive = %d, want 5", alive)
+	}
+}
+
+// TestScenarioDuplicateAppName checks a duplicate registration surfaces
+// as an error from Start instead of clobbering the first app.
+func TestScenarioDuplicateAppName(t *testing.T) {
+	t.Parallel()
+	app := splay.AppFunc(func(env *splay.Env) error { return nil })
+	sc := splay.Scenario{
+		Testbed: splay.Uniform(2, time.Millisecond, 0),
+		Apps: []splay.AppSpec{
+			{Name: "dup", Nodes: 1, App: app},
+			{Name: "dup", Nodes: 1, App: app},
+		},
+	}
+	if _, err := sc.Start(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Start with duplicate app names: err = %v, want duplicate registration error", err)
+	}
+}
+
+// TestScenarioBuiltinApps deploys the built-in chord application by name
+// only — the quickstart shape — on a simulated testbed.
+func TestScenarioBuiltinApps(t *testing.T) {
+	t.Parallel()
+	res, err := splay.Scenario{
+		Testbed:  splay.Uniform(3, 2*time.Millisecond, 0),
+		Apps:     []splay.AppSpec{{Name: "chord", Nodes: 2, Params: []byte(`{"bits":16}`)}},
+		Duration: 5 * time.Second,
+	}.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].State != splay.JobDone {
+		t.Fatalf("job state = %s after Run, want done", res.Jobs[0].State)
+	}
+	if len(res.Jobs[0].Deployed) != 2 {
+		t.Fatalf("deployed %v, want 2 instances", res.Jobs[0].Deployed)
+	}
+	bad := splay.Scenario{
+		Testbed: splay.Uniform(2, time.Millisecond, 0),
+		Apps:    []splay.AppSpec{{Name: "no-such-app", Nodes: 1}},
+	}
+	if _, err := bad.Start(context.Background()); err == nil {
+		t.Fatal("unknown built-in accepted")
+	}
+}

@@ -1,21 +1,39 @@
-// Package splay is the public facade of the SPLAY reproduction: an
-// integrated system for prototyping, deploying and evaluating large-scale
+// Package splay is the SDK of the SPLAY reproduction: an integrated
+// system for prototyping, deploying and evaluating large-scale
 // distributed applications, after Leonini, Rivière and Felber, "SPLAY:
 // Distributed Systems Evaluation Made Simple" (NSDI 2009).
 //
-// Applications implement App and run against an AppContext: an
+// Applications implement App and run against an Env: a capability-scoped
 // event-driven environment with cooperative tasks, periodic activities,
-// RPC, sandboxed sockets/filesystem, and per-job deployment information.
-// The same application code runs under the deterministic simulation
-// runtime (virtual time, simulated testbeds — ModelNet-style clusters,
-// a PlanetLab model, mixed deployments, trace- or script-driven churn) or
-// under the live runtime on real networks through splayctl/splayd.
+// RPC, sandboxed sockets and filesystem, logging, metric instruments and
+// per-job deployment information. The same application code runs under
+// the deterministic simulation runtime (virtual time, simulated testbeds
+// — ModelNet-style clusters, a PlanetLab model, trace- or script-driven
+// churn) and under the live runtime on real networks.
+//
+// Experiments are declared as a Scenario — testbed, applications, churn,
+// collection — and executed with one call:
+//
+//	res, err := splay.Scenario{
+//	    Testbed: splay.Live(5),
+//	    Apps: []splay.AppSpec{{
+//	        Name: "chord", Nodes: 4,
+//	        Params: []byte(`{"bits":24,"lookups_per_min":60}`),
+//	    }},
+//	    Duration: 30 * time.Second,
+//	}.Run(ctx)
+//
+// Scenario.Run provisions a controller and daemons (simulated or live),
+// deploys the jobs through the REGISTER/LIST/START chain, streams
+// aggregated metrics when asked to, and returns a typed Result.
+// Scenario.Start returns a Session instead, for experiments that
+// interleave custom phases with the provisioned system.
 //
 // Entry points:
-//   - NewSimRuntime / NewLiveRuntime: execution environments.
-//   - NewRegistry + apps in internal/apps: deployable applications.
-//   - cmd/splayctl, cmd/splayd, cmd/splay: the live deployment chain.
-//   - cmd/splay-experiments: regenerate every figure/table of the paper.
+//   - Scenario / Session / Env: the authoring and deployment SDK.
+//   - The experiments package: every figure/table of the paper.
+//   - cmd/splayctl, cmd/splayd, cmd/splay: the distributed deployment
+//     chain for real multi-host testbeds.
 //
 // See DESIGN.md for architecture and EXPERIMENTS.md for the recorded
 // reproduction results.
@@ -26,43 +44,65 @@ import (
 	"github.com/splaykit/splay/internal/sim"
 )
 
-// Re-exported core types: the application-facing API.
+// Deprecated facade — the pre-SDK surface, kept so existing consumers
+// (cmd/splayd, cmd/splayctl, hand-built simulations) migrate
+// mechanically. New code should author applications against Env and
+// deploy them through Scenario.
 type (
-	// App is a deployable SPLAY application.
-	App = core.App
-	// AppFunc adapts a function to App.
-	AppFunc = core.AppFunc
-	// AppContext is the sandboxed execution environment of one instance.
+	// AppContext is the engine-level execution environment.
+	//
+	// Deprecated: applications receive a capability-scoped *Env;
+	// Env.AppContext bridges to the engine for protocol libraries.
 	AppContext = core.AppContext
-	// JobInfo carries deployment information (job.me/nodes/position).
-	JobInfo = core.JobInfo
+	// CoreApp is the engine-level application interface.
+	//
+	// Deprecated: implement App (Run(*Env) error) instead.
+	CoreApp = core.App
+	// CoreAppFunc adapts a function to CoreApp.
+	//
+	// Deprecated: use AppFunc.
+	CoreAppFunc = core.AppFunc
+	// CoreFactory builds a CoreApp from JSON parameters.
+	//
+	// Deprecated: use Factory.
+	CoreFactory = core.Factory
 	// Runtime abstracts time and task scheduling (simulated or live).
 	Runtime = core.Runtime
-	// Registry maps application names to factories.
+	// Registry maps application names to engine factories.
+	//
+	// Deprecated: declare applications as Scenario.Apps entries; the
+	// scenario assembles the registry (built-ins included) itself.
 	Registry = core.Registry
-	// Factory builds an application from JSON parameters.
-	Factory = core.Factory
-	// Lock is the cooperative lock library.
-	Lock = core.Lock
-	// Logger is the application logging surface.
-	Logger = core.Logger
 )
 
 // NewKernel creates a discrete-event simulation kernel.
+//
+// Deprecated: Scenario.Start builds and drives the kernel; Session.RunFor
+// advances it.
 func NewKernel() *sim.Kernel { return sim.NewKernel() }
 
 // NewSimRuntime wraps a kernel as a Runtime.
+//
+// Deprecated: use a simulated Testbed (PlanetLab, ModelNet, Uniform).
 func NewSimRuntime(k *sim.Kernel, seed int64) Runtime { return core.NewSimRuntime(k, seed) }
 
 // NewLiveRuntime returns the real-time runtime.
+//
+// Deprecated: use the Live Testbed.
 func NewLiveRuntime(seed int64) Runtime { return core.NewLiveRuntime(seed) }
 
 // NewRegistry returns an empty application registry.
+//
+// Deprecated: see Registry.
 func NewRegistry() *Registry { return core.NewRegistry() }
 
 // NewAppContext builds an instance context; most users go through
 // StartInstance or the daemon instead.
+//
+// Deprecated: instances deployed through a Scenario receive an Env.
 var NewAppContext = core.NewAppContext
 
 // StartInstance runs an application as a supervised instance.
+//
+// Deprecated: deploy through Scenario, or wrap a context with NewEnv.
 var StartInstance = core.StartInstance
