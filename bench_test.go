@@ -57,6 +57,7 @@ func BenchmarkFig14WebCache(b *testing.B)           { benchExperiment(b, "fig14"
 func BenchmarkCtlplaneDeployment(b *testing.B)      { benchExperiment(b, "ctlplane", 0.05) }
 func BenchmarkLookup10kChordAtScale(b *testing.B)   { benchExperiment(b, "lookup10k", 0.02) }
 func BenchmarkObsplaneMonitoring(b *testing.B)      { benchExperiment(b, "obsplane", 0.05) }
+func BenchmarkFaultplaneClosedLoop(b *testing.B)    { benchExperiment(b, "faultplane", 0.05) }
 
 // BenchmarkFig8RealMemoryPerInstance measures the actual Go heap consumed
 // per Pastry instance, the companion to Fig. 8's modeled footprint: the
@@ -188,9 +189,9 @@ func BenchmarkKernelThroughput(b *testing.B) {
 
 // Guard: experiments registry stays complete.
 func TestBenchTargetsCoverAllExperiments(t *testing.T) {
-	want := []string{"ctlplane", "fig3", "fig4", "fig6a", "fig6b", "fig6c", "fig7a",
-		"fig7b", "fig7c", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"lookup10k", "obsplane", "tab1"}
+	want := []string{"ctlplane", "faultplane", "fig3", "fig4", "fig6a", "fig6b",
+		"fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "lookup10k", "obsplane", "tab1"}
 	have := experiments.IDs()
 	set := map[string]bool{}
 	for _, id := range have {

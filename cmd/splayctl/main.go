@@ -8,6 +8,8 @@
 //	splayctl [-port 5555] [-http 8080] [-host 127.0.0.1] [-tls]
 //	         [-metrics-port 5556] [-metrics-key splay]
 //	splayctl [-every 2s] watch http://host:8080
+//	splayctl faults inject [-kind crash|partition] [-count n] [-fraction f] http://host:8080
+//	splayctl faults heal http://host:8080
 //
 // Submit jobs with the splay CLI or plain HTTP:
 //
@@ -16,15 +18,26 @@
 // Watch mode polls a running splayctl's /metrics endpoint and renders
 // the aggregator's live population view — the in-flight counterpart of
 // the log collector.
+//
+// Fault mode drives the controller's live actuators: "inject -kind
+// crash" drops daemon control sessions (daemons started with reconnect
+// redial with backoff), "inject -kind partition" blacklists a fraction
+// of the population — the controller pushes the blacklist to every
+// daemon, whose sandboxes then refuse traffic to the cut side — and
+// "heal" clears the blacklist.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	splay "github.com/splaykit/splay"
@@ -48,6 +61,10 @@ func main() {
 			log.Fatal("splayctl watch: need a controller URL (e.g. http://127.0.0.1:8080)")
 		}
 		watch(flag.Arg(1), *every)
+		return
+	}
+	if flag.Arg(0) == "faults" {
+		faultsCmd(flag.Args()[1:])
 		return
 	}
 
@@ -163,11 +180,106 @@ func main() {
 		}
 		fmt.Fprintln(w, "stopped")
 	})
+	// Fault drills — the live counterparts of the scenario SDK's fault
+	// plan, driven over HTTP so chaos tooling needs no Go. Crash drops
+	// daemon control sessions (reconnect-enabled daemons redial with
+	// backoff); partition blacklists part of the population, which the
+	// controller pushes to every daemon's sandbox; heal clears it.
+	mux.HandleFunc("/faults/inject", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Kind     string  `json:"kind"`
+			Count    int     `json:"count"`
+			Fraction float64 `json:"fraction"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		names := ctl.DaemonNames()
+		sort.Strings(names)
+		n := req.Count
+		if n <= 0 && req.Fraction > 0 {
+			n = int(req.Fraction * float64(len(names)))
+		}
+		if n <= 0 || n > len(names) {
+			http.Error(w, fmt.Sprintf("need a count (or fraction) selecting 1..%d daemons", len(names)),
+				http.StatusBadRequest)
+			return
+		}
+		victims := names[:n]
+		switch req.Kind {
+		case "crash":
+			dropped := make([]string, 0, n)
+			for _, name := range victims {
+				if ctl.DropDaemon(name) {
+					dropped = append(dropped, name)
+				}
+			}
+			json.NewEncoder(w).Encode(map[string]any{"kind": "crash", "dropped": dropped}) //nolint:errcheck
+		case "partition":
+			ctl.SetBlacklist(victims)
+			json.NewEncoder(w).Encode(map[string]any{"kind": "partition", "blacklisted": victims}) //nolint:errcheck
+		default:
+			http.Error(w, "kind must be crash or partition", http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/faults/heal", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		ctl.SetBlacklist(nil)
+		json.NewEncoder(w).Encode(map[string]any{"healed": true, "daemons": ctl.Daemons()}) //nolint:errcheck
+	})
 	log.Printf("splayctl: web-services API on :%d", *httpPort)
 	if err := http.ListenAndServe(fmt.Sprintf(":%d", *httpPort), mux); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
+}
+
+// faultsCmd drives a running controller's fault endpoints: inject
+// (crash or partition) and heal.
+func faultsCmd(args []string) {
+	if len(args) < 1 {
+		log.Fatal("splayctl faults: need an action (inject or heal)")
+	}
+	action, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("faults "+action, flag.ExitOnError)
+	kind := fs.String("kind", "crash", "fault to inject: crash or partition")
+	count := fs.Int("count", 0, "number of daemons to hit")
+	fraction := fs.Float64("fraction", 0, "population fraction to hit (alternative to -count)")
+	fs.Parse(rest) //nolint:errcheck // ExitOnError
+	url := fs.Arg(0)
+	if url == "" {
+		log.Fatalf("splayctl faults %s: need a controller URL (e.g. http://127.0.0.1:8080)", action)
+	}
+	var resp *http.Response
+	var err error
+	switch action {
+	case "inject":
+		body, _ := json.Marshal(map[string]any{ //nolint:errcheck // static shape
+			"kind": *kind, "count": *count, "fraction": *fraction,
+		})
+		resp, err = http.Post(url+"/faults/inject", "application/json", bytes.NewReader(body))
+	case "heal":
+		resp, err = http.Post(url+"/faults/heal", "application/json", nil)
+	default:
+		log.Fatalf("splayctl faults: unknown action %q (want inject or heal)", action)
+	}
+	if err != nil {
+		log.Fatalf("splayctl faults %s: %v", action, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("splayctl faults %s: %s: %s", action, resp.Status, strings.TrimSpace(string(out)))
+	}
+	fmt.Print(string(out))
 }
 
 // watch polls url/metrics and renders the live population view.

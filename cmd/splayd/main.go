@@ -32,6 +32,8 @@ func main() {
 	maxTx := flag.Int64("max-tx", 0, "per-app lifetime egress bytes (0 = unlimited)")
 	metricsAddr := flag.String("metrics", "", "aggregator address for metric reports (empty disables)")
 	metricsKey := flag.String("metrics-key", "splay", "key presented to the aggregator")
+	reconnect := flag.Bool("reconnect", false,
+		"redial the controller with jittered exponential backoff when the session drops")
 	flag.Parse()
 
 	addr, err := transport.ParseAddr(*ctlAddr)
@@ -49,6 +51,7 @@ func main() {
 	}
 	cfg := daemon.DefaultConfig(*name)
 	cfg.Net = sandbox.NetLimits{MaxSockets: *maxSockets, MaxTxBytes: *maxTx}
+	cfg.Reconnect = *reconnect
 	lg := logging.New(&logging.WriterSink{W: os.Stdout}, *name, cfg.Key, nil)
 	d := daemon.New(rt, node, apps.Default(), cfg, lg)
 
@@ -95,6 +98,12 @@ func main() {
 			continue
 		}
 		log.Printf("splayd %s: connected to %s", *name, addr)
+		if *reconnect {
+			// The daemon owns the redial loop from here: a dropped session
+			// is redialed with jittered exponential backoff, and running
+			// instances survive the gap.
+			select {}
+		}
 		for d.Connected() {
 			time.Sleep(time.Second)
 		}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/faults"
 	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/sandbox"
@@ -162,6 +163,7 @@ type Env struct {
 	fs      *sandbox.FS
 	reg     *metrics.Registry
 	collect *collectTarget
+	rules   *faults.RPCRules // fault-plane RPC filter (nil outside fault plans)
 }
 
 // EnvConfig tunes NewEnv for hosts that instantiate applications outside
@@ -181,10 +183,10 @@ type EnvConfig struct {
 // build the Env; NewEnv is the bridge for static instantiation (tests,
 // hand-built simulations).
 func NewEnv(ctx *core.AppContext, cfg EnvConfig) *Env {
-	return newEnv(ctx, cfg, nil)
+	return newEnv(ctx, cfg, nil, nil)
 }
 
-func newEnv(ctx *core.AppContext, cfg EnvConfig, collect *collectTarget) *Env {
+func newEnv(ctx *core.AppContext, cfg EnvConfig, collect *collectTarget, rules *faults.RPCRules) *Env {
 	caps := cfg.Caps
 	if caps == 0 {
 		caps = AllCaps
@@ -198,7 +200,7 @@ func newEnv(ctx *core.AppContext, cfg EnvConfig, collect *collectTarget) *Env {
 			node = sb
 		}
 	}
-	return &Env{ctx: ctx, caps: caps, node: node, fsLim: cfg.FS, collect: collect}
+	return &Env{ctx: ctx, caps: caps, node: node, fsLim: cfg.FS, collect: collect, rules: rules}
 }
 
 // closerFunc adapts a function to io.Closer for AppContext.Track.
@@ -322,12 +324,21 @@ func (e *Env) NewRPCServer() (*RPCServer, error) {
 	return rpc.NewServer(e.ctx), nil
 }
 
-// NewRPCClient returns an RPC client bound to this instance.
+// NewRPCClient returns an RPC client bound to this instance. Under a
+// scenario with a non-empty fault plan the client carries the plan's
+// message filter (drop/delay by method) and paces redials to dead peers
+// with jittered exponential backoff; outside fault plans it is the bare
+// zero-overhead client.
 func (e *Env) NewRPCClient() (*RPCClient, error) {
 	if e.caps&CapNet == 0 {
 		return nil, &CapabilityError{Cap: CapNet}
 	}
-	return rpc.NewClient(e.ctx), nil
+	cl := rpc.NewClient(e.ctx)
+	if e.rules != nil {
+		cl.Fault = e.rules.Check
+		cl.SetRedialBackoff(faults.DefaultBackoff())
+	}
+	return cl, nil
 }
 
 // FS returns the instance's private virtual filesystem, created on first
@@ -373,6 +384,18 @@ func (e *Env) StartReporting() error {
 		return err
 	}
 	e.ctx.Track(rep)
+	if e.rules != nil {
+		// Fault-plane scenarios cut and heal the network under the
+		// report stream; redial it so telemetry resumes after a heal.
+		// (Gated on the fault plan so unfaulted schedules stay
+		// byte-identical: an unfaulted stream never fails a flush.)
+		e.ctx.Periodic(e.collect.every, func() {
+			if rep.Flush() != nil {
+				rep.Reconnect() //nolint:errcheck // retried next period
+			}
+		})
+		return nil
+	}
 	e.ctx.Periodic(e.collect.every, func() { rep.Flush() }) //nolint:errcheck // monitoring is best effort
 	return nil
 }

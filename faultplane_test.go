@@ -1,0 +1,187 @@
+package splay_test
+
+// Fault-plane tests: timed crash/restart through the scenario surface,
+// the typed deploy error, and the live chaos smoke (daemon killed and
+// revived mid-session on real sockets — run under -race in CI).
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	splay "github.com/splaykit/splay"
+)
+
+// holdApp keeps its instances alive until killed, so daemon crashes kill
+// something real.
+var holdApp = splay.AppFunc(func(env *splay.Env) error {
+	env.RunUntilKilled()
+	return nil
+})
+
+// TestScenarioFaultCrashRestart drives a timed crash of two daemons and
+// a later restart through a simulated scenario, checking the population
+// dips and recovers and the declared assertion passes.
+func TestScenarioFaultCrashRestart(t *testing.T) {
+	t.Parallel()
+	sc := splay.Scenario{
+		Seed:    5,
+		Testbed: splay.Uniform(6, 2*time.Millisecond, 0),
+		Collect: splay.Collect{Metrics: true, ReportEvery: time.Second},
+		Faults: splay.FaultPlan{
+			Events: []splay.FaultEvent{
+				splay.CrashNAt(5*time.Second, 2),
+				splay.RestartAt(20 * time.Second),
+			},
+		},
+		Assert: []splay.Assertion{
+			splay.EventuallyHolds("population-reports",
+				splay.Metric("", splay.StatNodes, splay.Above, 3), 0),
+		},
+		Apps: []splay.AppSpec{{
+			Name:  "ticker",
+			Nodes: 4,
+			App: splay.AppFunc(func(env *splay.Env) error {
+				ticks := env.Metrics().Counter("app.ticks")
+				if err := env.StartReporting(); err != nil {
+					return err
+				}
+				env.Periodic(time.Second, func() { ticks.Inc() })
+				env.RunUntilKilled()
+				return nil
+			}),
+		}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	job, err := sess.Deploy(sc.Apps[0]).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != splay.JobRunning {
+		t.Fatalf("job state = %s, want running", job.State)
+	}
+	if err := sess.ArmFaults(); err != nil {
+		t.Fatal(err)
+	}
+	sess.RunFor(10 * time.Second) // crash applied at +5s
+	if got := sess.Daemons(); got != 4 {
+		t.Fatalf("daemons after crash = %d, want 4", got)
+	}
+	sess.RunFor(30 * time.Second) // restart at +20s; reconnects settle
+	if got := sess.Daemons(); got != 6 {
+		t.Fatalf("daemons after restart = %d, want 6", got)
+	}
+	if err := sess.CheckAssertions(); err != nil {
+		t.Fatalf("assertions: %v", err)
+	}
+}
+
+// TestScenarioDeployErrorTyped exhausts the population before deploying
+// and checks the typed *DeployError surfaces through the scenario SDK.
+func TestScenarioDeployErrorTyped(t *testing.T) {
+	t.Parallel()
+	sc := splay.Scenario{
+		Seed:            3,
+		Testbed:         splay.Uniform(3, 2*time.Millisecond, 0),
+		RegisterTimeout: 5 * time.Second,
+		Faults: splay.FaultPlan{
+			Events: []splay.FaultEvent{splay.CrashNAt(time.Second, 2)},
+		},
+		Apps: []splay.AppSpec{{Name: "holder", Nodes: 3, App: holdApp}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	if err := sess.ArmFaults(); err != nil {
+		t.Fatal(err)
+	}
+	sess.RunFor(10 * time.Second)
+	if got := sess.Daemons(); got != 1 {
+		t.Fatalf("daemons after crash = %d, want 1", got)
+	}
+	job, err := sess.Deploy(sc.Apps[0]).Wait()
+	if err == nil {
+		t.Fatal("deployment on an exhausted population succeeded")
+	}
+	var derr *splay.DeployError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %T (%v), want *splay.DeployError", err, err)
+	}
+	if derr.Missing < 1 {
+		t.Fatalf("DeployError.Missing = %d, want ≥ 1", derr.Missing)
+	}
+	if job == nil || job.State != splay.JobFailed {
+		t.Fatalf("job = %+v, want failed state", job)
+	}
+}
+
+// TestLiveChaosReconnectAndReplace is the live chaos smoke: on real
+// loopback sockets, the fault plan kills a daemon mid-session and later
+// revives it. The controller must drop the dead session, a fresh
+// deployment must place onto the healthy remainder, and the revived
+// daemon must reconnect — all while the first job keeps running.
+func TestLiveChaosReconnectAndReplace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	sc := splay.Scenario{
+		Seed:    9,
+		Testbed: splay.Live(4),
+		Faults: splay.FaultPlan{
+			Events: []splay.FaultEvent{
+				splay.CrashNAt(500*time.Millisecond, 1),
+				splay.RestartAt(2500 * time.Millisecond),
+			},
+		},
+		Apps: []splay.AppSpec{{Name: "holder", Nodes: 2, App: holdApp}},
+	}
+	sess, err := sc.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+	job, err := sess.Deploy(sc.Apps[0]).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != splay.JobRunning {
+		t.Fatalf("job state = %s, want running", job.State)
+	}
+	if err := sess.ArmFaults(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitDaemons := func(want int, deadline time.Duration, phase string) {
+		t.Helper()
+		end := time.Now().Add(deadline)
+		for sess.Daemons() != want {
+			if time.Now().After(end) {
+				t.Fatalf("%s: daemons = %d after %s, want %d", phase, sess.Daemons(), deadline, want)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	waitDaemons(3, 5*time.Second, "crash")
+
+	// Deploy against the degraded population: selection and placement
+	// must land entirely on the healthy daemons.
+	job2, err := sess.Deploy(splay.AppSpec{Name: "holder", Nodes: 3}).Wait()
+	if err != nil {
+		t.Fatalf("deploy on degraded population: %v", err)
+	}
+	if job2.State != splay.JobRunning || len(job2.Deployed) != 3 {
+		t.Fatalf("job2 %s on %d nodes, want running on 3", job2.State, len(job2.Deployed))
+	}
+
+	waitDaemons(4, 15*time.Second, "restart")
+	if err := sess.CheckAssertions(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -80,6 +80,11 @@ type Config struct {
 	// controller's own host is always appended so applications cannot
 	// actively connect to it.
 	Blacklist []string
+	// DeployRetries is how many re-placement rounds Submit runs when
+	// daemons fail or vanish mid-deployment: each round registers fresh
+	// candidates for the lost slots and replays LIST/START for them. 0
+	// means the default (2); negative disables re-placement entirely.
+	DeployRetries int
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -90,6 +95,7 @@ func DefaultConfig() Config {
 		RegisterTimeout: 30 * time.Second,
 		UnseenAfter:     time.Hour,
 		PingEvery:       30 * time.Second,
+		DeployRetries:   2,
 	}
 }
 
@@ -216,6 +222,9 @@ func New(rt core.Runtime, node transport.Node, cfg Config) *Controller {
 	}
 	if cfg.PingEvery <= 0 {
 		cfg.PingEvery = 30 * time.Second
+	}
+	if cfg.DeployRetries == 0 {
+		cfg.DeployRetries = 2
 	}
 	// Clone before appending: sharing the caller's backing array would
 	// let the append clobber elements the caller still owns.
@@ -611,51 +620,35 @@ func (c *Controller) Submit(spec JobSpec) (*JobStatus, error) {
 	return job, nil
 }
 
-// submit is Submit's body behind the instrument hooks.
-func (c *Controller) submit(spec JobSpec) (*JobStatus, error) {
-	if spec.Nodes <= 0 {
-		return nil, fmt.Errorf("controller: job needs nodes")
-	}
-	superset := spec.Superset
-	if superset <= 1 {
-		superset = c.cfg.DefaultSuperset
-	}
-	c.mu.Lock()
-	c.jobSeq++
-	job := &JobStatus{ID: fmt.Sprintf("job-%d", c.jobSeq), State: JobIdle}
-	c.jobs[job.ID] = job
-	c.mu.Unlock()
+// regResult is one daemon's successful REGISTER: the session and the
+// port it granted.
+type regResult struct {
+	d    *daemonSession
+	port int
+}
 
-	// Candidate pool: every live daemon, capped at superset × request.
-	candidates := c.reg.snapshot()
-	if len(candidates) < spec.Nodes {
-		job.State = JobFailed
-		job.Err = fmt.Sprintf("need %d daemons, have %d", spec.Nodes, len(candidates))
-		return job, fmt.Errorf("controller: %s", job.Err)
-	}
-	// Prefer the most responsive daemons from monitoring, then cap.
-	sortByRTT(candidates)
-	probeN := int(float64(spec.Nodes) * superset)
-	if probeN > len(candidates) {
-		probeN = len(candidates)
-	}
-	candidates = candidates[:probeN]
+// deploySlot is one instance position of a deployment in progress. A nil
+// session means the slot lost its daemon and needs re-placement.
+type deploySlot struct {
+	d       *daemonSession
+	port    int
+	listed  bool // LIST acked with the current rendez-vous
+	started bool // START acked; the instance is running
+}
 
-	// REGISTER with the whole superset; the first Nodes acks win. The
-	// acks accumulate under a plain mutex (no yields inside) and a
-	// waiter unblocks the submitter as soon as enough daemons answered,
-	// or at the timeout.
-	type regResult struct {
-		d    *daemonSession
-		port int
-	}
+// registerRound REGISTERs desc with the candidate set and returns up to
+// want winners in ack order; stragglers and spares are FREEd. The acks
+// accumulate under a plain mutex (no yields inside) and a waiter
+// unblocks the submitter as soon as enough daemons answered, or at the
+// timeout.
+func (c *Controller) registerRound(candidates []*daemonSession, desc *ctlproto.Job, want int) []regResult {
+	probeN := len(candidates)
 	var mu sync.Mutex
 	var acks []regResult
 	answered := 0
 	closed := false
 	done := c.rt.NewWaiter()
 	done.WakeAfter(c.cfg.RegisterTimeout, nil)
-	desc := &ctlproto.Job{ID: job.ID, App: spec.App, Params: spec.Params}
 	c.fanout(candidates, c.cfg.RegisterTimeout,
 		func(int) *ctlproto.Msg { return &ctlproto.Msg{Type: ctlproto.TRegister, Job: desc} },
 		func(_ int, d *daemonSession, ans ctlproto.Msg, err error) {
@@ -665,7 +658,7 @@ func (c *Controller) submit(spec JobSpec) (*JobStatus, error) {
 			if err == nil && !late {
 				acks = append(acks, regResult{d: d, port: ans.Port})
 			}
-			enough := len(acks) >= spec.Nodes || answered == probeN
+			enough := len(acks) >= want || answered == probeN
 			mu.Unlock()
 			if late && err == nil {
 				// Selection already happened: release the straggler.
@@ -685,88 +678,274 @@ func (c *Controller) submit(spec JobSpec) (*JobStatus, error) {
 	closed = true
 	var selected, spare []regResult
 	for _, r := range acks {
-		if len(selected) < spec.Nodes {
+		if len(selected) < want {
 			selected = append(selected, r)
 		} else {
 			spare = append(spare, r)
 		}
 	}
 	mu.Unlock()
-	toSessions := func(rs []regResult) []*daemonSession {
-		ds := make([]*daemonSession, len(rs))
-		for i, r := range rs {
-			ds[i] = r.d
-		}
-		return ds
-	}
 	// Supernumerary daemons are released immediately.
-	c.freeAll(toSessions(spare), desc)
-	if len(selected) < spec.Nodes {
-		c.freeAll(toSessions(selected), desc)
+	spareDs := make([]*daemonSession, len(spare))
+	for i, r := range spare {
+		spareDs[i] = r.d
+	}
+	c.freeAll(spareDs, desc)
+	return selected
+}
+
+// submit is Submit's body behind the instrument hooks. Deployment is
+// slot-driven: REGISTER fills spec.Nodes slots from a superset probe,
+// LIST/START drive each slot to running, and any slot whose daemon
+// fails a phase is cleared, FREEd, and re-placed onto a fresh daemon in
+// the next round (up to DeployRetries rounds). A deployment that cannot
+// fill its slots returns a *DeployError naming every failure instead of
+// whichever error arrived first.
+//
+// On the all-acks path — every probed daemon healthy — round 0 writes
+// exactly the frame sequence of the pre-fault-plane controller, in the
+// same order, which is what keeps ctlplane/obsplane goldens
+// byte-identical.
+func (c *Controller) submit(spec JobSpec) (*JobStatus, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("controller: job needs nodes")
+	}
+	superset := spec.Superset
+	if superset <= 1 {
+		superset = c.cfg.DefaultSuperset
+	}
+	c.mu.Lock()
+	c.jobSeq++
+	job := &JobStatus{ID: fmt.Sprintf("job-%d", c.jobSeq), State: JobIdle}
+	c.jobs[job.ID] = job
+	c.mu.Unlock()
+
+	// Candidate pool: every live daemon, capped at superset × request.
+	candidates := c.reg.snapshot()
+	if len(candidates) < spec.Nodes {
+		derr := &DeployError{
+			Job:     job.ID,
+			Missing: spec.Nodes - len(candidates),
+			Reason:  fmt.Sprintf("need %d daemons, have %d", spec.Nodes, len(candidates)),
+		}
 		job.State = JobFailed
-		job.Err = fmt.Sprintf("only %d/%d daemons accepted", len(selected), spec.Nodes)
-		return job, fmt.Errorf("controller: %s", job.Err)
+		job.Err = derr.Error()
+		return job, derr
+	}
+	// Prefer the most responsive daemons from monitoring, then cap.
+	sortByRTT(candidates)
+	probeN := int(float64(spec.Nodes) * superset)
+	if probeN > len(candidates) {
+		probeN = len(candidates)
+	}
+	candidates = candidates[:probeN]
+
+	desc := &ctlproto.Job{ID: job.ID, App: spec.App, Params: spec.Params}
+	// Daemons already probed for this job never get re-probed: a daemon
+	// that failed once is not a re-placement target.
+	tried := make(map[string]bool, len(candidates))
+	for _, d := range candidates {
+		tried[d.name] = true
+	}
+	// REGISTER with the whole superset; the first Nodes acks win.
+	winners := c.registerRound(candidates, desc, spec.Nodes)
+	slots := make([]deploySlot, spec.Nodes)
+	for i := 0; i < len(winners); i++ {
+		slots[i] = deploySlot{d: winners[i].d, port: winners[i].port}
 	}
 	job.State = JobSelected
 
-	// Bootstrap list: the first selected node is the rendez-vous.
-	addrs := make([]transport.Addr, len(selected))
-	sessions := make([]*daemonSession, len(selected))
-	for i, r := range selected {
-		addrs[i] = transport.Addr{Host: r.d.name, Port: r.port}
-		sessions[i] = r.d
+	var fails []DeployFailure
+	retries := c.cfg.DeployRetries
+	if retries < 0 {
+		retries = 0
 	}
-	bootstrap := addrs[:1]
-	if spec.FullList {
-		bootstrap = addrs
-	}
-	if err := c.phase(sessions, func(i int) *ctlproto.Msg {
-		listJob := *desc
-		listJob.Position = i + 1
-		listJob.Nodes = bootstrap
-		return &ctlproto.Msg{Type: ctlproto.TList, Job: &listJob}
-	}); err != nil {
+	giveUp := func(missing int) (*JobStatus, error) {
+		var live []*daemonSession
+		for _, s := range slots {
+			if s.d != nil {
+				live = append(live, s.d)
+			}
+		}
+		c.freeAll(live, desc)
+		derr := &DeployError{Job: job.ID, Missing: missing, Failures: fails}
 		job.State = JobFailed
-		job.Err = err.Error()
-		return job, err
+		job.Err = derr.Error()
+		return job, derr
 	}
-	if err := c.phase(sessions, func(int) *ctlproto.Msg {
-		return &ctlproto.Msg{Type: ctlproto.TStart, Job: desc}
-	}); err != nil {
-		job.State = JobFailed
-		job.Err = err.Error()
-		return job, err
+
+	for round := 0; ; round++ {
+		// Re-place lost slots onto fresh daemons (round 0 starts full
+		// unless registration came up short).
+		missing := 0
+		for _, s := range slots {
+			if s.d == nil {
+				missing++
+			}
+		}
+		if missing > 0 {
+			var avail []*daemonSession
+			for _, d := range c.reg.snapshot() {
+				if !tried[d.name] {
+					avail = append(avail, d)
+				}
+			}
+			if len(avail) >= missing {
+				sortByRTT(avail)
+				probe := int(float64(missing) * superset)
+				if probe < missing {
+					probe = missing
+				}
+				if probe > len(avail) {
+					probe = len(avail)
+				}
+				avail = avail[:probe]
+				for _, d := range avail {
+					tried[d.name] = true
+				}
+				repl := c.registerRound(avail, desc, missing)
+				ri := 0
+				for i := range slots {
+					if slots[i].d == nil && ri < len(repl) {
+						slots[i] = deploySlot{d: repl[ri].d, port: repl[ri].port}
+						ri++
+						if i == 0 {
+							// The rendez-vous node moved: every slot's
+							// bootstrap list is stale, so all re-LIST.
+							for j := range slots {
+								slots[j].listed = false
+							}
+						}
+					}
+				}
+			}
+			missing = 0
+			for _, s := range slots {
+				if s.d == nil {
+					missing++
+				}
+			}
+			if missing > 0 {
+				return giveUp(missing)
+			}
+		}
+
+		// Bootstrap list: the first slot is the rendez-vous.
+		addrs := make([]transport.Addr, len(slots))
+		for i, s := range slots {
+			addrs[i] = transport.Addr{Host: s.d.name, Port: s.port}
+		}
+		bootstrap := addrs[:1]
+		if spec.FullList {
+			bootstrap = addrs
+		}
+
+		// LIST every slot that needs (re-)listing.
+		var listIdx []int
+		for i, s := range slots {
+			if !s.listed {
+				listIdx = append(listIdx, i)
+			}
+		}
+		listDs := make([]*daemonSession, len(listIdx))
+		for j, i := range listIdx {
+			listDs[j] = slots[i].d
+		}
+		var freed []*daemonSession
+		for j, err := range c.phaseAll(listDs, func(j int) *ctlproto.Msg {
+			listJob := *desc
+			listJob.Position = listIdx[j] + 1
+			listJob.Nodes = bootstrap
+			return &ctlproto.Msg{Type: ctlproto.TList, Job: &listJob}
+		}) {
+			i := listIdx[j]
+			if err != nil {
+				fails = append(fails, DeployFailure{Daemon: slots[i].d.name, Phase: "list", Err: err.Error()})
+				freed = append(freed, slots[i].d)
+				slots[i] = deploySlot{}
+			} else {
+				slots[i].listed = true
+			}
+		}
+
+		// START every listed slot not yet running.
+		var startIdx []int
+		for i, s := range slots {
+			if s.d != nil && s.listed && !s.started {
+				startIdx = append(startIdx, i)
+			}
+		}
+		startDs := make([]*daemonSession, len(startIdx))
+		for j, i := range startIdx {
+			startDs[j] = slots[i].d
+		}
+		for j, err := range c.phaseAll(startDs, func(int) *ctlproto.Msg {
+			return &ctlproto.Msg{Type: ctlproto.TStart, Job: desc}
+		}) {
+			i := startIdx[j]
+			if err != nil {
+				fails = append(fails, DeployFailure{Daemon: slots[i].d.name, Phase: "start", Err: err.Error()})
+				freed = append(freed, slots[i].d)
+				slots[i] = deploySlot{}
+			} else {
+				slots[i].started = true
+			}
+		}
+		c.freeAll(freed, desc)
+
+		done := true
+		for _, s := range slots {
+			if s.d == nil || !s.started {
+				done = false
+				break
+			}
+		}
+		if done {
+			job.State = JobRunning
+			job.Deployed = addrs
+			job.StartedAt = c.rt.Now()
+			return job, nil
+		}
+		if round >= retries {
+			missing := 0
+			for _, s := range slots {
+				if s.d == nil || !s.started {
+					missing++
+				}
+			}
+			return giveUp(missing)
+		}
 	}
-	job.State = JobRunning
-	job.Deployed = addrs
-	job.StartedAt = c.rt.Now()
-	return job, nil
 }
 
-// phase ships one command to every session and waits until all acked, one
-// failed, or RegisterTimeout expired.
-func (c *Controller) phase(ds []*daemonSession, makeMsg func(i int) *ctlproto.Msg) error {
+// phaseAll ships one command to every session and waits for every
+// answer (or the RegisterTimeout), returning one verdict per session:
+// nil for an ack, the daemon's error otherwise; unanswered sessions
+// report ErrTimeout. Unlike a first-error latch, one failed daemon does
+// not hide the others' verdicts — submit's re-placement rounds need each
+// one.
+func (c *Controller) phaseAll(ds []*daemonSession, makeMsg func(i int) *ctlproto.Msg) []error {
 	if len(ds) == 0 {
 		return nil
 	}
+	errs := make([]error, len(ds))
+	answered := make([]bool, len(ds))
 	var mu sync.Mutex
 	remaining := len(ds)
-	var firstErr error
 	closed := false
 	w := c.rt.NewWaiter()
 	w.WakeAfter(c.cfg.RegisterTimeout, error(transport.ErrTimeout))
 	c.fanout(ds, c.cfg.RegisterTimeout, makeMsg,
-		func(_ int, _ *daemonSession, _ ctlproto.Msg, err error) {
+		func(i int, _ *daemonSession, _ ctlproto.Msg, err error) {
 			mu.Lock()
-			if closed {
+			if closed || answered[i] {
 				mu.Unlock()
 				return
 			}
+			answered[i] = true
+			errs[i] = err
 			remaining--
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			finished := remaining == 0 || firstErr != nil
+			finished := remaining == 0
 			if finished {
 				closed = true
 			}
@@ -777,16 +956,25 @@ func (c *Controller) phase(ds []*daemonSession, makeMsg func(i int) *ctlproto.Ms
 				w.Wake(nil)
 			}
 		})
-	res := w.Wait()
+	w.Wait()
 	mu.Lock()
 	closed = true
-	err := firstErr
-	mu.Unlock()
-	if err != nil {
-		return err
+	for i := range errs {
+		if !answered[i] {
+			errs[i] = transport.ErrTimeout
+		}
 	}
-	if terr, ok := res.(error); ok {
-		return terr
+	mu.Unlock()
+	return errs
+}
+
+// phase ships one command to every session and reports the first
+// failure, for callers that need no per-daemon verdicts.
+func (c *Controller) phase(ds []*daemonSession, makeMsg func(i int) *ctlproto.Msg) error {
+	for _, err := range c.phaseAll(ds, makeMsg) {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -824,6 +1012,51 @@ func (c *Controller) StopJob(id string) error {
 	})
 	job.State = JobDone
 	return nil
+}
+
+// StopJobOn sends a job's STOP to a subset of its daemons by name — the
+// fault plane's kill actuator. Unlike StopJob the job stays running on
+// the untouched daemons.
+func (c *Controller) StopJobOn(id string, daemons []string) error {
+	c.mu.Lock()
+	_, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("controller: unknown job %s", id)
+	}
+	desc := &ctlproto.Job{ID: id}
+	var ds []*daemonSession
+	for _, name := range daemons {
+		if d, ok := c.reg.get(name); ok {
+			ds = append(ds, d)
+		}
+	}
+	return c.phase(ds, func(int) *ctlproto.Msg {
+		return &ctlproto.Msg{Type: ctlproto.TStop, Job: desc}
+	})
+}
+
+// DaemonNames returns the names of every connected daemon, in the
+// registry's deterministic snapshot order.
+func (c *Controller) DaemonNames() []string {
+	ds := c.reg.snapshot()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.name
+	}
+	return names
+}
+
+// DropDaemon forcibly closes a daemon's controller session (a fault
+// drill: the daemon observes a lost controller and, if configured,
+// reconnects with backoff). Reports whether the daemon was connected.
+func (c *Controller) DropDaemon(name string) bool {
+	d, ok := c.reg.get(name)
+	if !ok {
+		return false
+	}
+	d.conn.Close()
+	return true
 }
 
 // Job returns a job's status.

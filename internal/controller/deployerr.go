@@ -1,0 +1,44 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeployFailure is one daemon's failure during one deployment phase.
+type DeployFailure struct {
+	Daemon string // daemon name
+	Phase  string // "register", "list" or "start"
+	Err    string
+}
+
+func (f DeployFailure) String() string {
+	return fmt.Sprintf("%s (%s): %s", f.Daemon, f.Phase, f.Err)
+}
+
+// DeployError is a failed deployment's full account: every daemon that
+// failed a phase, and how many instance slots were still unfilled when
+// Submit gave up. It replaces the old first-error latch — a deployment
+// that loses three daemons reports three failures, not whichever error
+// happened to arrive first.
+type DeployError struct {
+	Job      string
+	Missing  int // unfilled instance slots when the deployment gave up
+	Failures []DeployFailure
+	Reason   string // pre-placement reason (e.g. the population is too small)
+}
+
+func (e *DeployError) Error() string {
+	msg := fmt.Sprintf("controller: deploy %s failed: %d instance(s) unplaced", e.Job, e.Missing)
+	if e.Reason != "" {
+		msg += ": " + e.Reason
+	}
+	if len(e.Failures) == 0 {
+		return msg
+	}
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = f.String()
+	}
+	return msg + "; " + strings.Join(parts, "; ")
+}

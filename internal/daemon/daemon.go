@@ -14,6 +14,7 @@ import (
 
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/ctlproto"
+	"github.com/splaykit/splay/internal/faults"
 	"github.com/splaykit/splay/internal/llenc"
 	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/sandbox"
@@ -61,6 +62,13 @@ type Config struct {
 	// daemons sharing one real machine (the loopback testbed) would
 	// otherwise grant ports other processes already own.
 	ProbePorts bool
+	// Reconnect makes a daemon whose controller session drops redial it
+	// with jittered exponential backoff until Close. Off by default: the
+	// retry sleeps add events to simulation schedules, so the fault plane
+	// turns it on only when a scenario declares a fault plan.
+	Reconnect bool
+	// ReconnectBackoff paces the redials (zero = faults.DefaultBackoff).
+	ReconnectBackoff faults.Backoff
 }
 
 // DefaultConfig fills ports and timeouts.
@@ -99,6 +107,7 @@ type Daemon struct {
 	nextPort  int
 	jobs      map[string]*runningJob
 	connected bool
+	closed    bool // Close was called: no reconnects
 }
 
 // New creates a daemon that instantiates applications from the registry.
@@ -169,7 +178,12 @@ func (d *Daemon) Connect(controller transport.Addr) error {
 		defer func() {
 			d.mu.Lock()
 			d.connected = false
+			closed := d.closed
 			d.mu.Unlock()
+			if d.cfg.Reconnect && !closed {
+				d.log.Printf("daemon %s: controller session lost, reconnecting", d.cfg.Name)
+				d.reconnectLoop(controller)
+			}
 		}()
 		for {
 			var m ctlproto.Msg
@@ -189,9 +203,35 @@ func (d *Daemon) Connect(controller transport.Addr) error {
 	return nil
 }
 
+// reconnectLoop redials the controller until success or Close, pacing
+// attempts with the configured backoff so a daemon population cut off by
+// a controller restart or healed partition does not stampede it. It runs
+// on the dead session's read-loop task, which the successful Connect
+// replaces with a fresh one.
+func (d *Daemon) reconnectLoop(controller transport.Addr) {
+	b := d.cfg.ReconnectBackoff
+	if !b.Enabled() {
+		b = faults.DefaultBackoff()
+	}
+	for attempt := 0; ; attempt++ {
+		d.rt.Sleep(b.Delay(attempt, d.rt.Rand()))
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return
+		}
+		if err := d.Connect(controller); err == nil {
+			d.log.Printf("daemon %s: reconnected to controller (attempt %d)", d.cfg.Name, attempt+1)
+			return
+		}
+	}
+}
+
 // Close drops the controller connection and kills all instances.
 func (d *Daemon) Close() {
 	d.mu.Lock()
+	d.closed = true
 	conn := d.conn
 	ids := make([]string, 0, len(d.jobs))
 	for id := range d.jobs {

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFaultplaneReconverges runs the fault-plane experiment at golden
+// scale and checks the closed loop's shape: the partition bit, the heal
+// rule fired exactly once, and lookups reconverged with bounded lag. The
+// experiment's own assertions (partition-bites, lookups-reconverge)
+// already gate the run — an assertion failure surfaces as an error here.
+func TestFaultplaneReconverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault-plane run")
+	}
+	t.Parallel()
+	res, err := Run("faultplane", Options{Scale: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics["heal_fires"]; got != 1 {
+		t.Errorf("heal rule fired %g times, want 1", got)
+	}
+	if res.Metrics["failed_lookups"] == 0 {
+		t.Error("partition caused no observed failures")
+	}
+	if lag := res.Metrics["reconverge_s"]; lag < 0 || lag > 60 {
+		t.Errorf("reconvergence lag %gs, want within [0, 60]", lag)
+	}
+	if res.Metrics["heal_s"] <= fpPartitionAt.Seconds() {
+		t.Errorf("heal at %gs, before the partition at %s", res.Metrics["heal_s"], fpPartitionAt)
+	}
+	wantLookups := res.Metrics["nodes"] * fpRounds
+	if res.Metrics["lookups"] != wantLookups {
+		t.Errorf("lookups = %g, want %g (every node finished its rounds)",
+			res.Metrics["lookups"], wantLookups)
+	}
+}
+
+// TestFaultplaneDeterministic runs the same seeded fault plan twice and
+// requires bit-identical metrics AND byte-identical output: fault
+// injection must not perturb the simulation's determinism.
+func TestFaultplaneDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fault-plane runs")
+	}
+	t.Parallel()
+	var outs [2]bytes.Buffer
+	var runs [2]*Result
+	for i := 0; i < 2; i++ {
+		res, err := Run("faultplane", Options{Scale: 0.05, Seed: 23, Out: &outs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = res
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Error("two runs of the same seeded plan produced different output bytes")
+	}
+	if len(runs[0].Metrics) != len(runs[1].Metrics) {
+		t.Fatalf("metric counts differ: %d vs %d", len(runs[0].Metrics), len(runs[1].Metrics))
+	}
+	for k, v := range runs[0].Metrics {
+		if w, ok := runs[1].Metrics[k]; !ok || w != v {
+			t.Errorf("metric %s drifted between identical runs: %v vs %v", k, v, w)
+		}
+	}
+}

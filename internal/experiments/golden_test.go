@@ -46,7 +46,7 @@ func readGolden(t *testing.T) map[string][]string {
 	return perID
 }
 
-// TestGoldenBitForBit re-runs all nineteen experiments (sharded across
+// TestGoldenBitForBit re-runs all twenty experiments (sharded across
 // the CPU via RunParallel) and compares every metric bit-for-bit against
 // the pre-rewrite golden record.
 func TestGoldenBitForBit(t *testing.T) {
@@ -61,6 +61,7 @@ func TestGoldenBitForBit(t *testing.T) {
 		"fig8": 1, "fig9": 0.08, "fig10": 0.05, "fig11": 0.05,
 		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
 		"ctlplane": 0.05, "lookup10k": 0.02, "obsplane": 0.05,
+		"faultplane": 0.05,
 	}
 	specs := make([]Spec, 0, len(scales))
 	for _, id := range IDs() {

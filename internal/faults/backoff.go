@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a jittered exponential retry schedule: attempt n waits
+// Base·Factorⁿ, capped at Max, with a Jitter fraction of the delay
+// randomized away so synchronized retriers desynchronize (the classic
+// thundering-herd fix for reconnect storms after a controller restart).
+//
+// The zero value is disabled (Enabled reports false): callers that gate
+// behavior on a Backoff field add nothing to schedules when it is unset,
+// which is what keeps the simulation goldens byte-identical.
+type Backoff struct {
+	// Base is the first delay. Zero disables the whole schedule.
+	Base time.Duration
+	// Max caps the grown delay (0 = uncapped).
+	Max time.Duration
+	// Factor is the per-attempt growth (values ≤ 1 mean the default, 2).
+	Factor float64
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random: delay·(1−Jitter) + U[0,1)·delay·Jitter. Zero is
+	// deterministic.
+	Jitter float64
+}
+
+// DefaultBackoff is the reconnect schedule used when a component enables
+// backoff without tuning it: 200ms doubling to a 30s ceiling, half
+// jittered.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 200 * time.Millisecond, Max: 30 * time.Second, Factor: 2, Jitter: 0.5}
+}
+
+// Enabled reports whether the schedule is active.
+func (b Backoff) Enabled() bool { return b.Base > 0 }
+
+// Delay returns the wait before retry number attempt (0-based). rng
+// supplies the jitter draw and may be nil when Jitter is 0; a
+// deterministic source yields a deterministic schedule.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if j := b.Jitter; j > 0 && rng != nil {
+		if j > 1 {
+			j = 1
+		}
+		d = d*(1-j) + rng.Float64()*d*j
+	}
+	return time.Duration(d)
+}

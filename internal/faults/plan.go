@@ -1,0 +1,367 @@
+// Package faults is the fault plane: declarative fault injection,
+// closed-loop trigger rules over the aggregated metric view, and metric
+// assertions that turn an experiment into a pass/fail gate.
+//
+// The package is deliberately mechanism-free: a Plan says *what* happens
+// and *when*; the Actuators interface says *how*, and is implemented by
+// the scenario layer twice — over simnet hooks for simulated testbeds and
+// over daemon kill/restart plus transport filters live. Everything here
+// is inert until an Engine is armed, and every hook the rest of the stack
+// consults is nil-checked, so an empty Plan adds no kernel events and
+// keeps every simulation golden byte-identical (the schedule-neutrality
+// invariant, see DESIGN.md).
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// EventKind enumerates the injectable faults.
+type EventKind int
+
+// Event kinds.
+const (
+	// Crash kills a fraction (or count) of the daemon population:
+	// instances die, the host drops off the network.
+	Crash EventKind = iota
+	// Restart revives every crashed daemon with a fresh process.
+	Restart
+	// Partition splits the population in two groups that cannot reach
+	// each other; crossing connections reset, crossing dials blackhole.
+	Partition
+	// Heal removes the partition.
+	Heal
+	// Degrade adds latency and datagram loss to every link.
+	Degrade
+	// Restore removes the degradation.
+	Restore
+	// RPCFault installs a message filter: matching outgoing RPC requests
+	// are dropped (fail by timeout) or delayed.
+	RPCFault
+	// RPCClear removes every RPC filter.
+	RPCClear
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Degrade:
+		return "degrade"
+	case Restore:
+		return "restore"
+	case RPCFault:
+		return "rpc-fault"
+	case RPCClear:
+		return "rpc-clear"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one timed fault injection. At is relative to the instant the
+// plan is armed (after deployment), so the same plan replays identically
+// at any absolute start time.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+
+	// Fraction selects how much of the population Crash kills or
+	// Partition cuts away (0 < Fraction < 1); Count is the absolute
+	// alternative for Crash.
+	Fraction float64
+	Count    int
+
+	// ExtraLatency and Loss parameterize Degrade.
+	ExtraLatency time.Duration
+	Loss         float64
+
+	// Method filters RPCFault ("" matches every method); Drop is the
+	// drop probability, Delay the added latency of surviving requests.
+	Method string
+	Drop   float64
+	Delay  time.Duration
+}
+
+// Stat selects how a Condition reads the aggregated telemetry.
+type Stat int
+
+// Condition statistics.
+const (
+	// StatTotal is a counter's population-wide total.
+	StatTotal Stat = iota
+	// StatRate is a counter total's growth per second since the previous
+	// evaluation tick (0 on the first tick).
+	StatRate
+	// StatGauge is a gauge's population-wide sum.
+	StatGauge
+	// StatMean is a histogram's mean (sum/count; 0 when empty).
+	StatMean
+	// StatP50/P90/P99 are histogram percentiles (bucket upper edges).
+	StatP50
+	StatP90
+	StatP99
+	// StatNodes is the number of reporting streams; Metric is ignored.
+	StatNodes
+)
+
+func (s Stat) String() string {
+	switch s {
+	case StatTotal:
+		return "total"
+	case StatRate:
+		return "rate"
+	case StatGauge:
+		return "gauge"
+	case StatMean:
+		return "mean"
+	case StatP50:
+		return "p50"
+	case StatP90:
+		return "p90"
+	case StatP99:
+		return "p99"
+	case StatNodes:
+		return "nodes"
+	}
+	return fmt.Sprintf("stat(%d)", int(s))
+}
+
+// Op compares a condition's observed statistic against its threshold.
+type Op int
+
+// Comparison operators.
+const (
+	Above Op = iota
+	Below
+)
+
+func (o Op) String() string {
+	if o == Below {
+		return "<"
+	}
+	return ">"
+}
+
+// Condition is one metric predicate: "Stat of Metric is Above/Below
+// Value". Conditions are evaluated against a View on every engine tick.
+type Condition struct {
+	Metric string
+	Stat   Stat
+	Op     Op
+	Value  float64
+}
+
+func (c Condition) String() string {
+	return fmt.Sprintf("%s(%s) %s %g", c.Stat, c.Metric, c.Op, c.Value)
+}
+
+// View is the metric surface conditions read — implemented by
+// metrics.Aggregator. All methods must be safe to call from engine ticks.
+type View interface {
+	CounterTotal(name string) uint64
+	GaugeSum(name string) int64
+	HistStats(name string) (count uint64, sum int64)
+	HistQuantile(name string, p float64) int64
+	Nodes() int
+}
+
+// ActionKind enumerates what a fired trigger does.
+type ActionKind int
+
+// Trigger actions.
+const (
+	// ActKill kills Fraction (or Count) of the population.
+	ActKill ActionKind = iota
+	// ActHeal heals the active partition and restores degraded links.
+	ActHeal
+	// ActGrow deploys Count additional instances of the scenario's
+	// first application.
+	ActGrow
+	// ActInject applies an arbitrary Event.
+	ActInject
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActKill:
+		return "kill"
+	case ActHeal:
+		return "heal"
+	case ActGrow:
+		return "grow"
+	case ActInject:
+		return "inject"
+	}
+	return fmt.Sprintf("action(%d)", int(k))
+}
+
+// Action is a fired rule's effect.
+type Action struct {
+	Kind     ActionKind
+	Fraction float64 // ActKill
+	Count    int     // ActKill / ActGrow
+	Event    *Event  // ActInject
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActKill:
+		if a.Count > 0 {
+			return fmt.Sprintf("kill %d", a.Count)
+		}
+		return fmt.Sprintf("kill %g%%", a.Fraction*100)
+	case ActGrow:
+		return fmt.Sprintf("grow %d", a.Count)
+	case ActInject:
+		if a.Event != nil {
+			return "inject " + a.Event.Kind.String()
+		}
+	}
+	return a.Kind.String()
+}
+
+// Rule is one closed-loop trigger: when the condition holds For long
+// enough, the action fires through the actuators (the ACME model — rules
+// over sensors driving actuators through the deployment substrate).
+type Rule struct {
+	// Name labels the rule in firing records and logs.
+	Name string
+	// When is the condition to watch.
+	When Condition
+	// For is how long the condition must hold continuously before the
+	// rule fires (0 = a single evaluation tick suffices).
+	For time.Duration
+	// Do is the fired effect.
+	Do Action
+	// Cooldown is the minimum spacing between consecutive fires.
+	Cooldown time.Duration
+	// MaxFires bounds how often the rule may fire (0 = once).
+	MaxFires int
+}
+
+// Firing records one rule activation.
+type Firing struct {
+	Rule   string
+	At     time.Time
+	Action string
+}
+
+// AssertKind selects an assertion's temporal semantics.
+type AssertKind int
+
+// Assertion kinds.
+const (
+	// Eventually passes if the condition holds at any evaluation tick
+	// (within Within of arming, when set).
+	Eventually AssertKind = iota
+	// Always fails on the first tick (after the After grace period)
+	// where the condition does not hold — "stays-below" is Always with a
+	// Below condition.
+	Always
+	// Converges passes if the condition starts holding within Within of
+	// arming and then holds at every later tick — "converges-within".
+	Converges
+)
+
+func (k AssertKind) String() string {
+	switch k {
+	case Eventually:
+		return "eventually"
+	case Always:
+		return "always"
+	case Converges:
+		return "converges"
+	}
+	return fmt.Sprintf("assert(%d)", int(k))
+}
+
+// Assertion is one metric predicate a run must satisfy; violations turn
+// into a typed *AssertionError from Scenario.Run (the Dfuntest model —
+// distributed tests that fail like unit tests).
+type Assertion struct {
+	// Name labels the assertion in failure reports.
+	Name string
+	// Cond is the predicate.
+	Cond Condition
+	// Kind is the temporal semantics.
+	Kind AssertKind
+	// Within bounds Eventually/Converges (0 = the whole run).
+	Within time.Duration
+	// After is a grace period before Always starts checking.
+	After time.Duration
+}
+
+// AssertionFailure is one violated assertion.
+type AssertionFailure struct {
+	Name   string
+	Kind   AssertKind
+	Detail string
+}
+
+func (f AssertionFailure) String() string {
+	return fmt.Sprintf("%s (%s): %s", f.Name, f.Kind, f.Detail)
+}
+
+// AssertionError enumerates every assertion a run violated.
+type AssertionError struct {
+	Failures []AssertionFailure
+}
+
+func (e *AssertionError) Error() string {
+	if len(e.Failures) == 0 {
+		return "faults: assertions failed"
+	}
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("faults: %d assertion(s) failed: %s", len(e.Failures), strings.Join(parts, "; "))
+}
+
+// Plan is a scenario's declarative fault schedule: timed events plus
+// closed-loop rules. The zero Plan is empty and arms nothing.
+type Plan struct {
+	// Events are the timed injections, applied in At order.
+	Events []Event
+	// Rules are the closed-loop triggers.
+	Rules []Rule
+	// EvalEvery is the trigger/assertion evaluation cadence (default 5s).
+	EvalEvery time.Duration
+}
+
+// Empty reports whether the plan injects nothing and watches nothing.
+func (p Plan) Empty() bool { return len(p.Events) == 0 && len(p.Rules) == 0 }
+
+// Actuators is how the engine touches the world. The scenario layer
+// implements it over simnet (simulated testbeds) and over daemon
+// kill/restart plus transport filters (live testbeds). Implementations
+// report faults they cannot express (e.g. link degradation on a live
+// testbed) as errors, which the engine surfaces through its log hook.
+type Actuators interface {
+	// Crash kills fraction (or count) of the alive population.
+	Crash(fraction float64, count int) (killed int, err error)
+	// Restart revives every crashed daemon.
+	Restart() (revived int, err error)
+	// Partition cuts fraction of the population away from the rest.
+	Partition(fraction float64) error
+	// Heal removes the partition.
+	Heal() error
+	// Degrade adds latency/loss to every link.
+	Degrade(extraLatency time.Duration, loss float64) error
+	// Restore removes the degradation.
+	Restore() error
+	// SetRPCFault installs a drop/delay filter on outgoing RPC requests.
+	SetRPCFault(method string, drop float64, delay time.Duration) error
+	// ClearRPCFault removes every RPC filter.
+	ClearRPCFault() error
+	// Grow deploys count additional instances.
+	Grow(count int) error
+}

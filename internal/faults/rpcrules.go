@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/splaykit/splay/internal/transport"
+)
+
+// RPCRule matches outgoing RPC requests by method name and either drops
+// them (the call fails by timeout, like a lost request) or delays them.
+type RPCRule struct {
+	Method string // "" matches every method
+	Drop   float64
+	Delay  time.Duration
+}
+
+// RPCRules is the message-plane fault filter shared by every instance a
+// scenario deploys: the live counterpart of simnet's link hooks, and an
+// extra knob in simulation. A scenario wires each instance's RPC client
+// to Check; with no rules installed Check is a mutex acquire and a nil
+// slice scan, and clients without a filter never call it at all.
+type RPCRules struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []RPCRule
+}
+
+// NewRPCRules returns an empty filter; seed fixes the drop sampling.
+func NewRPCRules(seed int64) *RPCRules {
+	return &RPCRules{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add installs one rule alongside the existing ones.
+func (r *RPCRules) Add(rule RPCRule) {
+	r.mu.Lock()
+	r.rules = append(r.rules, rule)
+	r.mu.Unlock()
+}
+
+// Clear removes every rule.
+func (r *RPCRules) Clear() {
+	r.mu.Lock()
+	r.rules = nil
+	r.mu.Unlock()
+}
+
+// Active reports whether any rule is installed.
+func (r *RPCRules) Active() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.rules) > 0
+}
+
+// Check is the per-call verdict: whether to drop the request and how much
+// extra latency to add before sending it. Matching rules compose — any
+// drop verdict wins, delays accumulate.
+func (r *RPCRules) Check(to transport.Addr, method string) (drop bool, delay time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rule := range r.rules {
+		if rule.Method != "" && rule.Method != method {
+			continue
+		}
+		if rule.Drop > 0 && r.rng.Float64() < rule.Drop {
+			drop = true
+		}
+		delay += rule.Delay
+	}
+	return drop, delay
+}

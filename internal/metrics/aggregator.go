@@ -329,6 +329,20 @@ func histQuantileLocked(s *series, p float64) int64 {
 	return BucketUpper(s.kind, NumBuckets-1)
 }
 
+// HistQuantile returns a histogram series' p-th percentile as a
+// nearest-rank bucket upper edge — the allocation-free surface the fault
+// plane's trigger rules poll on every evaluation tick (0 when the series
+// is absent or empty).
+func (a *Aggregator) HistQuantile(name string, p float64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.series[name]
+	if !ok || (s.kind != KindHistLinear && s.kind != KindHistPow2) {
+		return 0
+	}
+	return histQuantileLocked(s, p)
+}
+
 // PerNodeSorted returns a counter or gauge series' per-node values as
 // a stats.Sorted view — the cross-population percentile surface (e.g.
 // lookups per node, queue depth per node).

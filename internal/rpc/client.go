@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/faults"
 	"github.com/splaykit/splay/internal/llenc"
 	"github.com/splaykit/splay/internal/transport"
 )
@@ -24,16 +25,33 @@ type Client struct {
 	// level (the call then fails by timeout).
 	DropRate float64
 
+	// Fault, when set, is consulted per call with the destination and
+	// method: a drop verdict makes the request vanish (the call fails by
+	// timeout, like DropRate); a delay stalls it before sending. The
+	// fault plane points this at a shared faults.RPCRules filter; nil —
+	// the default — adds nothing to any schedule.
+	Fault func(to transport.Addr, method string) (drop bool, delay time.Duration)
+
 	// mu guards the pool and every peerConn's mutable state under
 	// LiveRuntime, where caller tasks and read loops are real
 	// goroutines. It is held only across memory operations — never a
 	// dial, an encode, or a waiter Wait — so the cooperative event
 	// order in simulation is untouched.
-	mu       sync.Mutex
-	pooling  bool
-	peers    map[transport.Addr]*peerConn
-	ins      Instruments
-	redialed map[transport.Addr]bool // dial-once memory behind Redials
+	mu      sync.Mutex
+	pooling bool
+	peers   map[transport.Addr]*peerConn
+	ins     Instruments
+	backoff faults.Backoff                   // redial pacing; zero = disabled
+	redials map[transport.Addr]*redialState  // per-destination dial history
+}
+
+// redialState is one destination's dial history: Redials accounting plus
+// the backoff clock. Allocated only when either feature is on, so the
+// default client's allocation profile is unchanged.
+type redialState struct {
+	dialed    bool      // a dial to this destination happened before
+	fails     int       // consecutive dial failures
+	notBefore time.Time // earliest next dial under backoff
 }
 
 // NewClient returns a client with the paper's default two-minute timeout
@@ -45,6 +63,17 @@ func NewClient(ctx *core.AppContext) *Client {
 // SetPooling toggles connection reuse (ablation: one connection per call
 // versus multiplexing).
 func (c *Client) SetPooling(on bool) { c.pooling = on }
+
+// SetRedialBackoff paces repeat dials to a destination that keeps
+// failing: after each failed dial the next one to the same address waits
+// the schedule's (jittered) delay; a successful dial resets it. Off by
+// default — enabling it is a fault-plane hardening decision, because the
+// added sleeps change event schedules in simulation.
+func (c *Client) SetRedialBackoff(b faults.Backoff) {
+	c.mu.Lock()
+	c.backoff = b
+	c.mu.Unlock()
+}
 
 // Call invokes method on the server at to and decodes nothing: use the
 // returned Result. It fails with ErrTimeout after the client timeout, the
@@ -65,6 +94,19 @@ func (c *Client) CallTimeout(to transport.Addr, timeout time.Duration, method st
 		c.ins.Errors.Inc()
 		c.ins.Timeouts.Inc()
 		return nil, ErrTimeout
+	}
+	if c.Fault != nil {
+		drop, delay := c.Fault(to, method)
+		if drop {
+			// Injected loss: same fate as DropRate.
+			c.ctx.Sleep(timeout)
+			c.ins.Errors.Inc()
+			c.ins.Timeouts.Inc()
+			return nil, ErrTimeout
+		}
+		if delay > 0 {
+			c.ctx.Sleep(delay)
+		}
 	}
 	// The timeout budget covers the whole call, dialing included.
 	start := c.ctx.Now()
@@ -158,20 +200,50 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 	}
 	pc = newPeerConn(c, to, true)
 	c.peers[to] = pc
-	if c.ins.Redials != nil {
-		// Retry accounting: a second dial to the same destination means
-		// the pooled peer died since last use.
-		if c.redialed == nil {
-			c.redialed = make(map[transport.Addr]bool)
+	var wait time.Duration
+	if c.ins.Redials != nil || c.backoff.Enabled() {
+		// Retry accounting and backoff pacing share the per-destination
+		// dial history: a second dial to the same destination means the
+		// pooled peer died since last use.
+		if c.redials == nil {
+			c.redials = make(map[transport.Addr]*redialState)
 		}
-		if c.redialed[to] {
+		rs := c.redials[to]
+		if rs == nil {
+			rs = &redialState{}
+			c.redials[to] = rs
+		}
+		if rs.dialed && c.ins.Redials != nil {
 			c.ins.Redials.Inc()
 		}
-		c.redialed[to] = true
+		rs.dialed = true
+		if now := c.ctx.Now(); now.Before(rs.notBefore) {
+			wait = rs.notBefore.Sub(now)
+		}
 	}
 	c.mu.Unlock()
+	if wait > 0 {
+		// Backoff: this destination failed recently; later callers park
+		// as dial waiters on pc and share the verdict, so the whole
+		// instance dials at the schedule's pace, not per caller.
+		c.ctx.Sleep(wait)
+	}
 	pc.dial(timeout)
-	if err := pc.lastErr(); err != nil {
+	err := pc.lastErr()
+	if c.backoff.Enabled() {
+		c.mu.Lock()
+		if rs := c.redials[to]; rs != nil {
+			if err != nil {
+				rs.fails++
+				rs.notBefore = c.ctx.Now().Add(c.backoff.Delay(rs.fails-1, c.ctx.Rand()))
+			} else {
+				rs.fails = 0
+				rs.notBefore = time.Time{}
+			}
+		}
+		c.mu.Unlock()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return pc, nil

@@ -85,6 +85,7 @@ type conn struct {
 	rd *pipe // data flowing toward us
 	wr *pipe // data flowing toward the peer
 
+	seq      int // creation order; fault-plane resets replay in seq order
 	closed   bool
 	deadline time.Time
 }
@@ -98,6 +99,9 @@ func newConnPair(lh *Host, laddr transport.Addr, rh *Host, raddr transport.Addr)
 	toLocal := &pipe{nw: lh.nw, dst: lh}
 	cl := &conn{h: lh, peerHost: rh, local: laddr, remote: raddr, rd: toLocal, wr: toRemote}
 	cr := &conn{h: rh, peerHost: lh, local: raddr, remote: laddr, rd: toRemote, wr: toLocal}
+	cl.seq = lh.nw.connSeq
+	cr.seq = lh.nw.connSeq + 1
+	lh.nw.connSeq += 2
 	lh.conns[cl] = struct{}{}
 	rh.conns[cr] = struct{}{}
 	return cl, cr

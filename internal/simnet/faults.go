@@ -1,0 +1,80 @@
+package simnet
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is simnet's half of the fault plane (see internal/faults):
+// partitions and link degradation, applied by the scenario layer's
+// actuators from inside kernel tasks. Every hook these methods arm is
+// checked behind the nil/zero fields on Network, so a network that never
+// sees a fault call runs the exact same event schedule and rng sequence
+// as before the fault plane existed.
+
+// Partition splits the network: hosts with sideB[id] true form one group,
+// the rest the other, and no traffic crosses. Crossing stream connections
+// reset immediately (both endpoints observe errors, in connection creation
+// order so simulations stay deterministic); crossing dials and datagrams
+// blackhole until HealPartition. Bytes already in flight still arrive —
+// a partition severs links, it does not reach into receive queues.
+//
+// Must be called from a kernel task. A second call replaces the first.
+func (nw *Network) Partition(sideB []bool) {
+	nw.partition = sideB
+	if sideB == nil {
+		return
+	}
+	var crossing []*conn
+	for _, h := range nw.hosts {
+		for c := range h.conns {
+			if nw.cut(c.h.id, c.peerHost.id) {
+				crossing = append(crossing, c)
+			}
+		}
+	}
+	sort.Slice(crossing, func(i, j int) bool { return crossing[i].seq < crossing[j].seq })
+	for _, c := range crossing {
+		c.reset()
+	}
+}
+
+// HealPartition removes the partition. Reconnection is the application's
+// job (daemons redial the controller, protocols repair their links).
+func (nw *Network) HealPartition() { nw.partition = nil }
+
+// Partitioned reports whether a partition is active.
+func (nw *Network) Partitioned() bool { return nw.partition != nil }
+
+// cut reports whether the active partition separates hosts a and b.
+func (nw *Network) cut(a, b int) bool {
+	p := nw.partition
+	return p != nil && a < len(p) && b < len(p) && p[a] != p[b]
+}
+
+// Degrade adds extra one-way latency and datagram loss to links touching
+// the selected hosts (nil selects every host). Streams stay reliable, as
+// in the link model proper; only their delivery slows down.
+func (nw *Network) Degrade(hosts []bool, extraLatency time.Duration, loss float64) {
+	nw.degHosts = hosts
+	nw.degExtra = extraLatency
+	nw.degLoss = loss
+	nw.degraded = true
+}
+
+// Restore removes the degradation.
+func (nw *Network) Restore() {
+	nw.degHosts = nil
+	nw.degExtra = 0
+	nw.degLoss = 0
+	nw.degraded = false
+}
+
+// degApplies reports whether degradation touches the a→b link.
+func (nw *Network) degApplies(a, b int) bool {
+	h := nw.degHosts
+	if h == nil {
+		return true
+	}
+	return (a < len(h) && h[a]) || (b < len(h) && h[b])
+}

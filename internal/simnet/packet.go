@@ -61,6 +61,20 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 		nw.ins.DroppedDgrams.Inc()
 		return len(b), nil
 	}
+	// Fault-plane drops: a partition blackholes crossing datagrams without
+	// an rng draw; degradation adds loss sampled only while active, so the
+	// rng sequence with no plan armed is untouched.
+	if nw.cut(p.host.id, remote.id) {
+		nw.stats.DroppedDgrams++
+		nw.ins.DroppedDgrams.Inc()
+		return len(b), nil
+	}
+	if nw.degraded && nw.degLoss > 0 && nw.degApplies(p.host.id, remote.id) &&
+		nw.rng.Float64() < nw.degLoss {
+		nw.stats.DroppedDgrams++
+		nw.ins.DroppedDgrams.Inc()
+		return len(b), nil
+	}
 	data := nw.getBuf(len(b))
 	copy(data, b)
 	_, delivered := nw.sendTimes(p.host, remote, len(data))

@@ -74,6 +74,18 @@ type Network struct {
 	freeDlv *delivery // pooled scheduled messages (see delivery.go)
 	freeBuf [][]byte  // pooled payload buffers (see getBuf/putBuf)
 
+	// Fault-plane state, driven by the scenario layer's actuators (see
+	// internal/faults). All zero when no fault plan is active: every hook
+	// below nil-checks before doing anything, so an empty plan adds no
+	// kernel events and changes no rng draws — the schedule-neutrality
+	// invariant the simulation goldens pin.
+	partition []bool        // partition side by host id; nil = no partition
+	degHosts  []bool        // degraded hosts; nil while degraded = all hosts
+	degExtra  time.Duration // added one-way delay on degraded links
+	degLoss   float64       // added datagram loss on degraded links
+	degraded  bool          // Degrade active (degExtra/degLoss may be 0)
+	connSeq   int           // conn creation stamp for deterministic resets
+
 	stats Stats
 	ins   Instruments
 }
@@ -187,11 +199,14 @@ func (nw *Network) hostByName(name string) (*Host, error) {
 }
 
 // delay returns the one-way delay between two hosts with a defensive floor
-// of zero.
+// of zero, plus any active link degradation.
 func (nw *Network) delay(a, b int) time.Duration {
 	d := nw.model.Delay(a, b)
 	if d < 0 {
 		d = 0
+	}
+	if nw.degraded && nw.degExtra > 0 && nw.degApplies(a, b) {
+		d += nw.degExtra
 	}
 	return d
 }
@@ -368,6 +383,9 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 	k.AfterFunc(fwd, func() {
 		if remote.down && h.nw.silent {
 			return // blackholed: the dialer's timeout fires
+		}
+		if h.nw.cut(h.id, remote.id) {
+			return // partitioned: same blackhole, the dialer times out
 		}
 		l, ok := remote.listeners[to.Port]
 		if !ok || remote.down {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"github.com/splaykit/splay/internal/controller"
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/daemon"
+	"github.com/splaykit/splay/internal/faults"
 	"github.com/splaykit/splay/internal/livenet"
 	"github.com/splaykit/splay/internal/logging"
 	"github.com/splaykit/splay/internal/metrics"
@@ -95,6 +97,15 @@ type Scenario struct {
 	Churn ChurnSpec
 	// Collect configures the observability plane.
 	Collect Collect
+	// Faults is the declarative fault schedule: timed injections plus
+	// closed-loop trigger rules, armed right after deployment. The zero
+	// plan injects nothing and leaves every schedule untouched.
+	Faults FaultPlan
+	// Assert are metric predicates the run must satisfy; violations
+	// surface from Run as a typed *AssertionError alongside the still
+	// valid Result. Trigger rules and assertions read the aggregated
+	// telemetry and therefore need Collect.Metrics.
+	Assert []Assertion
 	// Settle is the daemon connect window before deployments begin
 	// (default 45 simulated seconds; live, a 10s readiness deadline
 	// polled on the controller's registry).
@@ -129,9 +140,19 @@ type Session struct {
 	reg     *core.Registry
 	collect *collectTarget
 
-	daemons []*daemon.Daemon // live only
-	ex      *churn.Executor
-	insts   []*core.Instance // churn slots
+	ex    *churn.Executor
+	insts []*core.Instance // churn slots
+
+	// Fault plane (see faultplane.go). slots track every provisioned
+	// daemon in both worlds; the rest exists only when the scenario
+	// declares faults or assertions.
+	slots    []*daemonSlot
+	nHosts   int // simulated host count (partition/degrade masks)
+	ctlAddr  transport.Addr
+	rpcRules *faults.RPCRules
+	frng     *rand.Rand
+	eng      *faults.Engine
+	act      *actuators
 
 	startErr error
 	stopped  atomic.Bool
@@ -176,6 +197,11 @@ func (sc Scenario) Run(ctx context.Context) (*Result, error) {
 			res.Jobs = append(res.Jobs, job)
 		}
 	}
+	// Arm the fault plan with the deployed system as its time origin:
+	// +0 on the plan's clock is "deployment just finished".
+	if err := sess.ArmFaults(); err != nil {
+		return nil, err
+	}
 	dur := sc.Duration
 	if dur <= 0 {
 		dur = 30 * time.Second
@@ -183,6 +209,11 @@ func (sc Scenario) Run(ctx context.Context) (*Result, error) {
 	sess.RunFor(dur)
 	for _, job := range res.Jobs {
 		sess.StopJob(job.ID) //nolint:errcheck // best-effort teardown
+	}
+	// Assertion failures are results, not provisioning errors: the
+	// Result still carries the telemetry that explains them.
+	if err := sess.CheckAssertions(); err != nil {
+		return res, err
 	}
 	return res, nil
 }
@@ -207,6 +238,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 		mon = 1 // host 1 is the dedicated monitoring host
 	}
 	total := tb.daemons + 1 + mon
+	s.nHosts = total
 	model, proc := tb.build(total, seed)
 	nw := simnet.New(s.k, model, total, seed)
 	if proc != nil {
@@ -293,7 +325,13 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 		s.k.Go(func() { s.startErr = ctl.Start() })
 	}
 
-	reg, err := sc.buildRegistry(s.collect)
+	// The RPC fault filter exists only for non-empty plans: an unarmed
+	// filter would still sit on every call path, and schedule neutrality
+	// wants the default client untouched.
+	if !sc.Faults.Empty() {
+		s.rpcRules = faults.NewRPCRules(seed)
+	}
+	reg, err := sc.buildRegistry(s.collect, s.rpcRules)
 	if err != nil {
 		return nil, err
 	}
@@ -301,13 +339,26 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 
 	lg := sc.simLogger(rt)
 	ctlAddr := transport.Addr{Host: simnet.HostName(0), Port: cfg.Port}
+	s.ctlAddr = ctlAddr
 	base := 1 + mon
 	for i := base; i < base+tb.daemons; i++ {
-		d := daemon.New(rt, nw.Node(i), reg, daemon.DefaultConfig(simnet.HostName(i)), lg)
-		if collecting {
-			d.SetInstruments(dmnIns)
+		host := i
+		dcfg := daemon.DefaultConfig(simnet.HostName(host))
+		if !sc.Faults.Empty() {
+			// Fault-plane sessions survive their own faults: daemons
+			// redial a lost controller session with jittered backoff.
+			dcfg.Reconnect = true
 		}
-		s.k.GoAfter(time.Duration(i)*2*time.Millisecond, func() {
+		mk := func() *daemon.Daemon {
+			d := daemon.New(rt, nw.Node(host), reg, dcfg, lg)
+			if collecting {
+				d.SetInstruments(dmnIns)
+			}
+			return d
+		}
+		d := mk()
+		s.slots = append(s.slots, &daemonSlot{host: host, name: dcfg.Name, mk: mk, d: d})
+		s.k.GoAfter(time.Duration(host)*2*time.Millisecond, func() {
 			d.Connect(ctlAddr) //nolint:errcheck // expiry is the monitor's job
 		})
 	}
@@ -333,6 +384,11 @@ func (sc Scenario) startSimChurn(s *Session, tb *simTestbed) (*Session, error) {
 	if len(sc.Apps) != 1 {
 		return nil, fmt.Errorf("splay: a churn scenario drives exactly one app (have %d)", len(sc.Apps))
 	}
+	if !sc.Faults.Empty() || len(sc.Assert) > 0 {
+		// The fault plane actuates through the controller and daemon
+		// slots; a churn trace is its own population schedule.
+		return nil, errors.New("splay: fault plans drive controller-provisioned scenarios, not churn traces")
+	}
 	if sc.Collect.Metrics {
 		// Not wired yet: rejecting beats Env.StartReporting failing
 		// invisibly inside every churned-in instance.
@@ -346,7 +402,7 @@ func (sc Scenario) startSimChurn(s *Session, tb *simTestbed) (*Session, error) {
 	}
 	rt := core.NewSimRuntime(s.k, s.seed)
 	s.nw, s.rt = nw, rt
-	reg, err := sc.buildRegistry(nil)
+	reg, err := sc.buildRegistry(nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +504,11 @@ func (sc Scenario) startLive(ctx context.Context, tb *liveTestbed) (*Session, er
 		return nil, err
 	}
 	ctlAddr := ctl.Addr()
-	reg, err := sc.buildRegistry(s.collect)
+	s.ctlAddr = ctlAddr
+	if !sc.Faults.Empty() {
+		s.rpcRules = faults.NewRPCRules(seed)
+	}
+	reg, err := sc.buildRegistry(s.collect, s.rpcRules)
 	if err != nil {
 		s.Stop()
 		return nil, err
@@ -465,16 +525,22 @@ func (sc Scenario) startLive(ctx context.Context, tb *liveTestbed) (*Session, er
 		dcfg.PortLow = tb.basePort + i*tb.portSpan
 		dcfg.PortHigh = dcfg.PortLow + tb.portSpan - 1
 		dcfg.ProbePorts = true
+		if !sc.Faults.Empty() {
+			dcfg.Reconnect = true
+		}
 		var lg core.Logger
 		if sc.Collect.Logs != nil {
 			lg = logging.New(&logging.WriterSink{W: sc.Collect.Logs}, name, dcfg.Key, nil)
 		}
-		d := daemon.New(rt, livenet.NewNode(name), reg, dcfg, lg)
+		mk := func() *daemon.Daemon {
+			return daemon.New(rt, livenet.NewNode(name), reg, dcfg, lg)
+		}
+		d := mk()
 		if err := d.Connect(ctlAddr); err != nil {
 			s.Stop()
 			return nil, err
 		}
-		s.daemons = append(s.daemons, d)
+		s.slots = append(s.slots, &daemonSlot{host: -1, name: name, mk: mk, d: d})
 	}
 	// Readiness: poll the controller's registry instead of sleeping an
 	// arbitrary delay and hoping the daemons made it.
@@ -526,7 +592,7 @@ func (sc Scenario) simLogger(rt core.Runtime) core.Logger {
 // buildRegistry assembles the deployable application registry: built-ins
 // when a spec names one, Env-wrapped factories for inline apps. A
 // duplicate name surfaces as an error.
-func (sc Scenario) buildRegistry(collect *collectTarget) (*core.Registry, error) {
+func (sc Scenario) buildRegistry(collect *collectTarget, rules *faults.RPCRules) (*core.Registry, error) {
 	reg := core.NewRegistry()
 	for _, spec := range sc.Apps {
 		if spec.App == nil && spec.New == nil {
@@ -546,7 +612,7 @@ func (sc Scenario) buildRegistry(collect *collectTarget) (*core.Registry, error)
 			}
 			continue
 		}
-		if err := reg.Register(spec.Name, makeFactory(spec, collect)); err != nil {
+		if err := reg.Register(spec.Name, makeFactory(spec, collect, rules)); err != nil {
 			return nil, fmt.Errorf("splay: %w", err)
 		}
 	}
@@ -555,7 +621,7 @@ func (sc Scenario) buildRegistry(collect *collectTarget) (*core.Registry, error)
 
 // makeFactory wraps an SDK app (or factory) as an engine factory that
 // hands instances a capability-scoped Env.
-func makeFactory(spec AppSpec, collect *collectTarget) core.Factory {
+func makeFactory(spec AppSpec, collect *collectTarget, rules *faults.RPCRules) core.Factory {
 	return func(params json.RawMessage) (core.App, error) {
 		app := spec.App
 		if spec.New != nil {
@@ -569,7 +635,7 @@ func makeFactory(spec AppSpec, collect *collectTarget) core.Factory {
 			return nil, fmt.Errorf("splay: app %q has no implementation", spec.Name)
 		}
 		return core.AppFunc(func(ctx *core.AppContext) error {
-			return app.Run(newEnv(ctx, spec.Env, collect))
+			return app.Run(newEnv(ctx, spec.Env, collect, rules))
 		}), nil
 	}
 }
@@ -764,11 +830,18 @@ func (s *Session) Stop() {
 			inst.Kill()
 		}
 	}
+	if s.eng != nil {
+		s.eng.Stop()
+	}
 	if s.ctl != nil {
 		s.ctl.Stop()
 	}
-	for _, d := range s.daemons {
-		d.Close()
+	for _, sl := range s.slots {
+		// Simulated daemons need no teardown (the kernel stopped with
+		// the session); live ones hold real sockets.
+		if s.live && sl.d != nil {
+			sl.d.Close()
+		}
 	}
 	if s.agg != nil {
 		s.agg.Close()
