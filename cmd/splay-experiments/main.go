@@ -14,6 +14,7 @@
 //	splay-experiments -list
 //	splay-experiments -run fig6a [-scale 0.5] [-seed 2009]
 //	splay-experiments -run all -scale 0.2 [-parallel 8]
+//	splay-experiments -run lookup100k -workers 4
 //	splay-experiments -run obsplane -live
 //
 // -live streams each experiment's rows to stdout as the simulation
@@ -40,6 +41,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "population/workload scale in (0,1]")
 	seed := flag.Int64("seed", 2009, "random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (1 = serial)")
+	workers := flag.Int("workers", 0, "threads per sharded-kernel experiment (lookup100k); 0/1 = serial, results identical regardless")
 	list := flag.Bool("list", false, "list experiments")
 	live := flag.Bool("live", false, "stream rows to stdout as they are produced (serial)")
 	flag.Parse()
@@ -60,7 +62,7 @@ func main() {
 
 	specs := make([]experiments.Spec, len(ids))
 	for i, id := range ids {
-		specs[i] = experiments.Spec{ID: id, Opt: experiments.Options{Scale: *scale, Seed: *seed}}
+		specs[i] = experiments.Spec{ID: id, Opt: experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}}
 	}
 	start := time.Now()
 

@@ -1,0 +1,46 @@
+// Package arena provides chunked slab allocation for long-lived simulation
+// state: hosts, connections, pipes. A 100k-host simulation creates hundreds
+// of thousands of such objects; allocating each one individually costs a
+// malloc plus permanent GC scan pressure, and scatters hot neighbours across
+// the heap. An Arena hands out pointers into fixed-size chunks instead: one
+// allocation per chunk, dense layout, stable addresses.
+//
+// Arenas never free individual objects — that is the point. The target
+// state (a host's sockets, a cached RPC connection) lives as long as the
+// simulation; pooling-with-reuse would buy aliasing bugs, not memory. Drop
+// the whole arena (with its Network) to release everything at once.
+package arena
+
+// Arena allocates zeroed values of T from chunks of a fixed size. The zero
+// Arena is not usable; create arenas with New. Get is single-threaded per
+// arena: in partitioned simulations each partition owns its own arenas.
+type Arena[T any] struct {
+	chunks [][]T
+	used   int // slots handed out from the newest chunk
+	size   int // chunk capacity
+	total  int
+}
+
+// New returns an arena handing out chunks of chunkSize values (minimum 16).
+func New[T any](chunkSize int) *Arena[T] {
+	if chunkSize < 16 {
+		chunkSize = 16
+	}
+	return &Arena[T]{size: chunkSize}
+}
+
+// Get returns a pointer to a fresh zeroed T. The pointer is stable for the
+// arena's lifetime.
+func (a *Arena[T]) Get() *T {
+	if len(a.chunks) == 0 || a.used == a.size {
+		a.chunks = append(a.chunks, make([]T, a.size))
+		a.used = 0
+	}
+	p := &a.chunks[len(a.chunks)-1][a.used]
+	a.used++
+	a.total++
+	return p
+}
+
+// Len returns the number of values handed out.
+func (a *Arena[T]) Len() int { return a.total }

@@ -1,0 +1,66 @@
+package arena
+
+import (
+	"testing"
+	"unsafe"
+)
+
+type fat struct {
+	a, b int64
+	p    *fat
+}
+
+func TestPointersStableAndZeroed(t *testing.T) {
+	a := New[fat](64)
+	var ptrs []*fat
+	for i := 0; i < 1000; i++ {
+		p := a.Get()
+		if p.a != 0 || p.b != 0 || p.p != nil {
+			t.Fatalf("Get returned non-zero value at %d: %+v", i, *p)
+		}
+		p.a = int64(i)
+		ptrs = append(ptrs, p)
+	}
+	if a.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", a.Len())
+	}
+	for i, p := range ptrs {
+		if p.a != int64(i) {
+			t.Fatalf("value at %d overwritten: got %d", i, p.a)
+		}
+	}
+}
+
+// TestAllocationAmortized pins the reason the arena exists: N Gets cost
+// ~N/chunkSize heap allocations, not N.
+func TestAllocationAmortized(t *testing.T) {
+	a := New[fat](256)
+	const n = 100_000
+	avg := testing.AllocsPerRun(1, func() {
+		for i := 0; i < n; i++ {
+			a.Get()
+		}
+	})
+	// n/256 chunk allocations ≈ 391, plus slice growth of a.chunks.
+	if avg > n/256+32 {
+		t.Fatalf("%d Gets performed %.0f allocations, want ~%d", n, avg, n/256)
+	}
+}
+
+// TestFootprint bounds per-object overhead: chunked storage must stay within
+// ~1.1× the raw struct size for large populations.
+func TestFootprint(t *testing.T) {
+	a := New[fat](256)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		a.Get()
+	}
+	raw := uintptr(n) * unsafe.Sizeof(fat{})
+	var got uintptr
+	for _, c := range a.chunks {
+		got += uintptr(cap(c)) * unsafe.Sizeof(fat{})
+	}
+	if got > raw+raw/10 {
+		t.Fatalf("arena holds %d bytes for %d bytes of values", got, raw)
+	}
+}

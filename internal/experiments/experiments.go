@@ -27,6 +27,11 @@ type Options struct {
 	Seed int64
 	// Out receives the experiment's rows; nil discards them.
 	Out io.Writer
+	// Workers sets the OS threads a sharded-kernel experiment (lookup100k)
+	// may use; 0 or 1 runs single-threaded. Results are a pure function of
+	// Scale and Seed — Workers changes wall-clock time only, never a metric
+	// or an output byte. Single-kernel experiments ignore it.
+	Workers int
 }
 
 func (o Options) out() io.Writer {

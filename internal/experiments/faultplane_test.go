@@ -38,32 +38,36 @@ func TestFaultplaneReconverges(t *testing.T) {
 	}
 }
 
-// TestFaultplaneDeterministic runs the same seeded fault plan twice and
-// requires bit-identical metrics AND byte-identical output: fault
-// injection must not perturb the simulation's determinism.
+// TestFaultplaneDeterministic runs the same seeded fault plan at worker
+// counts 1, 2 and 4 and requires bit-identical metrics AND byte-identical
+// output: fault injection must not perturb the simulation's determinism,
+// and the Workers knob must never leak into a single-kernel experiment.
 func TestFaultplaneDeterministic(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full fault-plane runs")
+		t.Skip("three full fault-plane runs")
 	}
 	t.Parallel()
-	var outs [2]bytes.Buffer
-	var runs [2]*Result
-	for i := 0; i < 2; i++ {
-		res, err := Run("faultplane", Options{Scale: 0.05, Seed: 23, Out: &outs[i]})
+	workers := []int{1, 2, 4}
+	outs := make([]bytes.Buffer, len(workers))
+	runs := make([]*Result, len(workers))
+	for i, w := range workers {
+		res, err := Run("faultplane", Options{Scale: 0.05, Seed: 23, Out: &outs[i], Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}
 		runs[i] = res
 	}
-	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
-		t.Error("two runs of the same seeded plan produced different output bytes")
-	}
-	if len(runs[0].Metrics) != len(runs[1].Metrics) {
-		t.Fatalf("metric counts differ: %d vs %d", len(runs[0].Metrics), len(runs[1].Metrics))
-	}
-	for k, v := range runs[0].Metrics {
-		if w, ok := runs[1].Metrics[k]; !ok || w != v {
-			t.Errorf("metric %s drifted between identical runs: %v vs %v", k, v, w)
+	for i := 1; i < len(workers); i++ {
+		if !bytes.Equal(outs[0].Bytes(), outs[i].Bytes()) {
+			t.Errorf("workers=%d: same seeded plan produced different output bytes than workers=1", workers[i])
+		}
+		if len(runs[0].Metrics) != len(runs[i].Metrics) {
+			t.Fatalf("metric counts differ: %d vs %d", len(runs[0].Metrics), len(runs[i].Metrics))
+		}
+		for k, v := range runs[0].Metrics {
+			if w, ok := runs[i].Metrics[k]; !ok || w != v {
+				t.Errorf("metric %s drifted between identical runs: %v vs %v", k, v, w)
+			}
 		}
 	}
 }

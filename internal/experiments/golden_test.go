@@ -46,9 +46,11 @@ func readGolden(t *testing.T) map[string][]string {
 	return perID
 }
 
-// TestGoldenBitForBit re-runs all twenty experiments (sharded across
+// TestGoldenBitForBit re-runs every registered experiment (sharded across
 // the CPU via RunParallel) and compares every metric bit-for-bit against
-// the pre-rewrite golden record.
+// the pre-rewrite golden record. The sharded-kernel experiment runs at
+// 1, 2 and 4 worker threads against one golden: the schedule may depend
+// on its partition count, never on how many threads drive it.
 func TestGoldenBitForBit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
@@ -61,15 +63,23 @@ func TestGoldenBitForBit(t *testing.T) {
 		"fig8": 1, "fig9": 0.08, "fig10": 0.05, "fig11": 0.05,
 		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
 		"ctlplane": 0.05, "lookup10k": 0.02, "obsplane": 0.05,
-		"faultplane": 0.05,
+		"faultplane": 0.05, "lookup100k": 0.002,
 	}
-	specs := make([]Spec, 0, len(scales))
+	specs := make([]Spec, 0, len(scales)+2)
 	for _, id := range IDs() {
 		scale, ok := scales[id]
 		if !ok {
 			t.Fatalf("experiment %s has no golden scale; extend the table and regenerate", id)
 		}
 		specs = append(specs, Spec{ID: id, Opt: Options{Scale: scale, Seed: 11, Out: io.Discard}})
+		if id == "lookup100k" {
+			// The sharded-kernel experiment must hit the same golden under
+			// every worker count (invariant 9): one spec per thread count,
+			// all compared against identical golden lines.
+			for _, w := range []int{2, 4} {
+				specs = append(specs, Spec{ID: id, Opt: Options{Scale: scale, Seed: 11, Out: io.Discard, Workers: w}})
+			}
+		}
 	}
 	for _, oc := range RunParallel(specs, 0) {
 		if oc.Err != nil {

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -322,6 +323,41 @@ func (k *Kernel) run(limitNS int64, bounded bool) uint64 {
 		// finished simulation would pin its task pool (and kernel) for the
 		// process lifetime. The pool re-grows on demand.
 		k.drainTaskPool()
+	}
+	return n
+}
+
+// peekNS returns the firing time of the earliest queued event, or
+// math.MaxInt64 when the queue is empty. ParKernel uses it to compute the
+// global minimum that anchors each conservative lookahead window.
+func (k *Kernel) peekNS() int64 {
+	if e := k.wq.peek(); e != nil {
+		return e.atNS
+	}
+	return math.MaxInt64
+}
+
+// runWindow executes queued events with firing times ≤ limitNS and returns
+// the count. Unlike run it does not reset the halted flag, advance the clock
+// to the limit, or drain the task pool: ParKernel calls it once per lookahead
+// window and handles all three at the boundaries of the whole run.
+func (k *Kernel) runWindow(limitNS int64) uint64 {
+	var n uint64
+	for !k.halted {
+		e := k.wq.pop(limitNS, true)
+		if e == nil {
+			break
+		}
+		if e.canceled {
+			k.free(e)
+			continue
+		}
+		if e.atNS > k.nowNS {
+			k.setNow(e.atNS)
+		}
+		k.fire(e)
+		n++
+		k.events++
 	}
 	return n
 }

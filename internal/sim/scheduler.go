@@ -1,0 +1,40 @@
+package sim
+
+import "time"
+
+// Scheduler is the driving surface shared by the single-threaded Kernel and
+// the partitioned ParKernel. Code that only needs to advance virtual time —
+// the scenario session driver, experiment harnesses — programs against this
+// interface and is indifferent to whether one event loop or N sub-kernels
+// sit underneath.
+//
+// Everything scheduling-related (Go, AfterFunc, NewWaiter, ...) stays on the
+// concrete kernels: in partitioned mode those calls are per-partition, so a
+// flat interface for them would hide the partition argument that makes them
+// correct.
+type Scheduler interface {
+	// Now returns the current virtual time. For a ParKernel this is the
+	// low-water mark across partitions (they re-align at every bounded run).
+	Now() time.Time
+	// Since returns the virtual duration elapsed since the Epoch.
+	Since() time.Duration
+	// Events returns the total number of events executed.
+	Events() uint64
+	// Tasks returns the number of live cooperative tasks.
+	Tasks() int
+	// Run executes events until the queue drains or Halt is called.
+	Run() uint64
+	// RunFor advances the simulation by virtual duration d.
+	RunFor(d time.Duration) uint64
+	// RunUntil executes events with firing times ≤ t, then sets the clock
+	// to t.
+	RunUntil(t time.Time) uint64
+	// Halt stops the run loop after the current event (Kernel) or the
+	// current lookahead window (ParKernel) completes.
+	Halt()
+}
+
+var (
+	_ Scheduler = (*Kernel)(nil)
+	_ Scheduler = (*ParKernel)(nil)
+)

@@ -154,6 +154,19 @@ func (q *wheel) minSlot() int {
 	panic("sim: timer wheel occupancy bitmap out of sync")
 }
 
+// peek returns the earliest queued event without removing it, or nil when
+// the queue is empty. Ring events are always earlier than overflow events
+// (overflow lies beyond the ring horizon), so the ring is checked first.
+func (q *wheel) peek() *event {
+	if q.ringCount > 0 {
+		return q.buckets[q.minSlot()][0]
+	}
+	if len(q.overflow) > 0 {
+		return q.overflow[0]
+	}
+	return nil
+}
+
 // pop removes and returns the earliest event, or nil if the queue is empty
 // or (when bounded) the earliest event fires after limitNS. Ring events are
 // always earlier than overflow events, so the ring is checked first.

@@ -35,7 +35,7 @@ func (p *pipe) deliverTime(t time.Time) time.Time {
 
 func (p *pipe) deliverData(data []byte) {
 	if p.eof || p.err != nil || p.frozen {
-		p.nw.putBuf(data) // dropped: the payload buffer is free again
+		p.dst.np().putBuf(data) // dropped: the payload buffer is free again
 		return
 	}
 	if p.head == len(p.segs) {
@@ -93,17 +93,33 @@ type conn struct {
 var _ transport.Conn = (*conn)(nil)
 
 // newConnPair wires two endpoints together and registers them with their
-// hosts so machine failures can reset them.
+// hosts so machine failures can reset them. It always runs on the accepting
+// host's partition: pipes and conns come from that partition's arenas, and
+// its connSeq stamps the pair. Seqs are strided by the partition count so
+// they stay globally unique and deterministic (and reduce to the old dense
+// numbering on single-kernel networks). When the dialer lives on another
+// partition, its endpoint is registered by the dial verdict over there —
+// host tables are only ever touched by their owning partition.
 func newConnPair(lh *Host, laddr transport.Addr, rh *Host, raddr transport.Addr) (*conn, *conn) {
-	toRemote := &pipe{nw: lh.nw, dst: rh}
-	toLocal := &pipe{nw: lh.nw, dst: lh}
-	cl := &conn{h: lh, peerHost: rh, local: laddr, remote: raddr, rd: toLocal, wr: toRemote}
-	cr := &conn{h: rh, peerHost: lh, local: raddr, remote: laddr, rd: toRemote, wr: toLocal}
-	cl.seq = lh.nw.connSeq
-	cr.seq = lh.nw.connSeq + 1
-	lh.nw.connSeq += 2
-	lh.conns[cl] = struct{}{}
-	rh.conns[cr] = struct{}{}
+	nw := lh.nw
+	pt := rh.np()
+	toRemote := pt.pipes.Get()
+	toRemote.nw, toRemote.dst = nw, rh
+	toLocal := pt.pipes.Get()
+	toLocal.nw, toLocal.dst = nw, lh
+	cl := pt.conns.Get()
+	cr := pt.conns.Get()
+	cl.h, cl.peerHost, cl.local, cl.remote, cl.rd, cl.wr = lh, rh, laddr, raddr, toLocal, toRemote
+	cr.h, cr.peerHost, cr.local, cr.remote, cr.rd, cr.wr = rh, lh, raddr, laddr, toRemote, toLocal
+	parts := len(nw.parts)
+	base := pt.connSeq
+	pt.connSeq += 2
+	cl.seq = base*parts + rh.part
+	cr.seq = (base+1)*parts + rh.part
+	rh.addConn(cr)
+	if lh.part == rh.part {
+		lh.addConn(cl)
+	}
 	return cl, cr
 }
 
@@ -120,7 +136,7 @@ func (c *conn) SetReadDeadline(t time.Time) error {
 // Read implements transport.Conn. It blocks in virtual time until data,
 // EOF, reset, or the read deadline.
 func (c *conn) Read(b []byte) (int, error) {
-	k := c.h.nw.kernel
+	k := c.h.kern()
 	for {
 		if c.rd.unread() {
 			seg := c.rd.segs[c.rd.head]
@@ -130,7 +146,7 @@ func (c *conn) Read(b []byte) (int, error) {
 				c.rd.segs[c.rd.head] = nil
 				c.rd.head++
 				c.rd.off = 0
-				c.h.nw.putBuf(seg) // fully consumed: recycle the payload
+				c.h.np().putBuf(seg) // fully consumed: recycle the payload
 			}
 			return n, nil
 		}
@@ -170,7 +186,7 @@ func (c *conn) Read(b []byte) (int, error) {
 // small socket buffer; the payload is delivered to the peer after queueing
 // plus propagation delay.
 func (c *conn) Write(b []byte) (int, error) {
-	k := c.h.nw.kernel
+	k := c.h.kern()
 	if c.closed {
 		return 0, transport.ErrClosed
 	}
@@ -180,16 +196,27 @@ func (c *conn) Write(b []byte) (int, error) {
 	if len(b) == 0 {
 		return 0, nil
 	}
-	c.h.nw.stats.StreamMsgs++
-	c.h.nw.stats.StreamBytes += uint64(len(b))
+	np := c.h.np()
+	np.stats.StreamMsgs++
+	np.stats.StreamBytes += uint64(len(b))
 	c.h.nw.ins.StreamMsgs.Inc()
 	c.h.nw.ins.StreamBytes.Add(uint64(len(b)))
 
-	data := c.h.nw.getBuf(len(b))
+	data := np.getBuf(len(b))
 	copy(data, b)
-	senderFree, delivered := c.h.nw.sendTimes(c.h, c.peerHost, len(data))
-	delivered = c.wr.deliverTime(delivered)
-	c.h.nw.scheduleData(delivered, c.wr, data)
+	var senderFree time.Time
+	if c.h.nw.cross(c.h, c.peerHost) {
+		// Sender half of the fluid model here; the receiver half (downlink
+		// queueing, FIFO floor) runs on the peer's partition at arrival.
+		senderFree = c.h.nw.upTimes(c.h, len(data))
+		arrive := senderFree.Add(c.h.nw.delay(c.h.id, c.peerHost.id))
+		c.h.nw.postData(c.h, c.wr, data, arrive)
+	} else {
+		var delivered time.Time
+		senderFree, delivered = c.h.nw.sendTimes(c.h, c.peerHost, len(data))
+		delivered = c.wr.deliverTime(delivered)
+		c.h.nw.scheduleData(delivered, c.wr, data)
+	}
 
 	if wait := senderFree.Sub(k.Now()); wait > 0 {
 		k.Sleep(wait)
@@ -211,9 +238,15 @@ func (c *conn) Close() error {
 	}
 	c.closed = true
 	delete(c.h.conns, c)
-	k := c.h.nw.kernel
-	eofAt := c.wr.deliverTime(k.Now().Add(c.h.nw.delay(c.h.id, c.peerHost.id)))
-	c.h.nw.scheduleEOF(eofAt, c.wr)
+	k := c.h.kern()
+	arrive := k.Now().Add(c.h.nw.delay(c.h.id, c.peerHost.id))
+	if c.h.nw.cross(c.h, c.peerHost) {
+		// The FIFO floor against in-flight data is applied on the peer's
+		// partition when the EOF arrives, not here.
+		c.h.nw.postEOF(c.h, c.wr, arrive)
+	} else {
+		c.h.nw.scheduleEOF(c.wr.deliverTime(arrive), c.wr)
+	}
 	// Wake a parked local reader; it will observe closed.
 	c.rd.wakeReader()
 	return nil
@@ -225,6 +258,17 @@ func (c *conn) reset() {
 	c.closed = true
 	delete(c.h.conns, c)
 	c.rd.fail(transport.ErrClosed)
+	if c.h.nw.cross(c.h, c.peerHost) {
+		// The peer's pipe state belongs to its partition; the reset
+		// travels like any other message (cold path, closure is fine).
+		nw := c.h.nw
+		wr := c.wr
+		arrive := c.h.kern().Now().Add(nw.delay(c.h.id, c.peerHost.id))
+		nw.pk.Post(c.h.part, c.peerHost.part, int64(arrive.Sub(sim.Epoch)), func() {
+			wr.fail(transport.ErrClosed)
+		})
+		return
+	}
 	c.wr.fail(transport.ErrClosed)
 }
 
@@ -285,7 +329,7 @@ func (l *listener) Accept() (transport.Conn, error) {
 			l.backlog = l.backlog[1:]
 			return c, nil
 		}
-		w := l.host.nw.kernel.NewWaiter()
+		w := l.host.kern().NewWaiter()
 		l.waiters = append(l.waiters, w.Ref())
 		switch v := w.Wait().(type) {
 		case *conn:

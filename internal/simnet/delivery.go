@@ -3,13 +3,25 @@ package simnet
 import (
 	"time"
 
+	"github.com/splaykit/splay/internal/sim"
 	"github.com/splaykit/splay/internal/transport"
 )
 
-// delivery is a pooled, reusable scheduled message. The per-network free
+// delivery is a pooled, reusable scheduled message. The per-partition free
 // list plus the one closure created per pooled object (d.run, capturing only
 // d) make the message hot path — stream writes, EOFs and datagrams —
 // allocation-free in steady state apart from the payload copy itself.
+//
+// A delivery fires in one of two shapes. Intra-partition messages are
+// scheduled directly at their delivery instant with a terminal kind
+// (dlvData, dlvEOF, dlvDgram): fire delivers and recycles. Cross-partition
+// messages carry a staged kind (dlvXData, dlvXEOF, dlvXDgram) and are
+// posted to the destination partition at their *arrival* instant — the
+// moment the payload reaches the receiver's access link. Firing a staged
+// kind runs the receiver half of the fluid model (downlink queueing,
+// processing delay, pipe FIFO floor) on the destination's own state, then
+// reschedules the same object under the terminal kind. The split keeps
+// every mutation of host state on the partition that owns the host.
 type delivery struct {
 	nw   *Network
 	run  func() // scheduled on the kernel; created once per pooled object
@@ -27,11 +39,19 @@ const (
 	dlvData uint8 = iota
 	dlvEOF
 	dlvDgram
+	dlvXData  // cross-partition stage 1: data arriving at receiver's link
+	dlvXEOF   // cross-partition stage 1: EOF arriving
+	dlvXDgram // cross-partition stage 1: datagram arriving
 )
 
-func (nw *Network) newDelivery() *delivery {
-	if d := nw.freeDlv; d != nil {
-		nw.freeDlv = d.next
+// newDelivery allocates from this partition's pool. Deliveries recycle into
+// the pool of the partition whose kernel fired them — the destination — so
+// a steady cross-partition flow drains one pool and feeds the other; the
+// reverse traffic of any real protocol balances it, and an imbalance only
+// costs the pool a few extra objects, never correctness.
+func (pt *netPart) newDelivery(nw *Network) *delivery {
+	if d := pt.freeDlv; d != nil {
+		pt.freeDlv = d.next
 		d.next = nil
 		return d
 	}
@@ -43,55 +63,117 @@ func (nw *Network) newDelivery() *delivery {
 // fire performs the delivery and recycles the object. All conditions are
 // re-checked at delivery time, exactly like the closures this replaces.
 func (d *delivery) fire() {
+	// Staged cross-partition kinds: run the receiver half of the fluid
+	// model now, on the destination partition at arrival time, and
+	// reschedule this same object as its terminal kind. No recycling yet.
+	switch d.kind {
+	case dlvXData:
+		k := d.pipe.dst.kern()
+		at := d.pipe.deliverTime(d.nw.recvTimes(d.pipe.dst, k.Now(), len(d.data)))
+		d.kind = dlvData
+		k.AtFunc(at, d.run)
+		return
+	case dlvXEOF:
+		k := d.pipe.dst.kern()
+		at := d.pipe.deliverTime(k.Now())
+		d.kind = dlvEOF
+		k.AtFunc(at, d.run)
+		return
+	case dlvXDgram:
+		k := d.to.kern()
+		at := d.nw.recvTimes(d.to, k.Now(), len(d.data))
+		d.kind = dlvDgram
+		k.AtFunc(at, d.run)
+		return
+	}
+
 	d.nw.ins.Deliveries.Inc()
 	d.nw.ins.QueuedBytes.Add(-int64(len(d.data)))
+	var pt *netPart
 	switch d.kind {
 	case dlvData:
+		pt = d.pipe.dst.np()
 		d.pipe.deliverData(d.data)
 	case dlvEOF:
+		pt = d.pipe.dst.np()
 		d.pipe.deliverEOF()
 	case dlvDgram:
+		pt = d.to.np()
 		if dst, ok := d.to.packets[d.port]; ok && !dst.closed && !d.to.down {
 			dst.deliver(dgram{data: d.data, from: d.from})
 		} else {
-			d.nw.putBuf(d.data) // dead port swallows the datagram
+			pt.putBuf(d.data) // dead port swallows the datagram
 		}
 	}
-	nw := d.nw
 	d.pipe = nil
 	d.data = nil
 	d.to = nil
 	d.from = transport.Addr{}
-	d.next = nw.freeDlv
-	nw.freeDlv = d
+	d.next = pt.freeDlv
+	pt.freeDlv = d
 }
 
-// scheduleData delivers data into p at virtual time at.
+// scheduleData delivers data into p at virtual time at. Same-partition
+// only: at is the full fluid-model delivery instant.
 func (nw *Network) scheduleData(at time.Time, p *pipe, data []byte) {
-	d := nw.newDelivery()
+	d := p.dst.np().newDelivery(nw)
 	d.kind = dlvData
 	d.pipe = p
 	d.data = data
 	nw.ins.QueuedBytes.Add(int64(len(data)))
-	nw.kernel.AtFunc(at, d.run)
+	p.dst.kern().AtFunc(at, d.run)
 }
 
-// scheduleEOF delivers EOF into p at virtual time at.
+// scheduleEOF delivers EOF into p at virtual time at. Same-partition only.
 func (nw *Network) scheduleEOF(at time.Time, p *pipe) {
-	d := nw.newDelivery()
+	d := p.dst.np().newDelivery(nw)
 	d.kind = dlvEOF
 	d.pipe = p
-	nw.kernel.AtFunc(at, d.run)
+	p.dst.kern().AtFunc(at, d.run)
 }
 
 // scheduleDgram delivers a datagram to (to, port) at virtual time at.
+// Same-partition only.
 func (nw *Network) scheduleDgram(at time.Time, to *Host, port int, data []byte, from transport.Addr) {
-	d := nw.newDelivery()
+	d := to.np().newDelivery(nw)
 	d.kind = dlvDgram
 	d.to = to
 	d.port = port
 	d.data = data
 	d.from = from
 	nw.ins.QueuedBytes.Add(int64(len(data)))
-	nw.kernel.AtFunc(at, d.run)
+	to.kern().AtFunc(at, d.run)
+}
+
+// postData ships data from host `from` into pipe p (owned by another
+// partition), arriving at the receiver's link at virtual time arrive. The
+// staged delivery crosses at the ParKernel barrier; receiver-side queueing
+// happens on arrival.
+func (nw *Network) postData(from *Host, p *pipe, data []byte, arrive time.Time) {
+	d := from.np().newDelivery(nw)
+	d.kind = dlvXData
+	d.pipe = p
+	d.data = data
+	nw.ins.QueuedBytes.Add(int64(len(data)))
+	nw.pk.Post(from.part, p.dst.part, int64(arrive.Sub(sim.Epoch)), d.run)
+}
+
+// postEOF ships a stream EOF across partitions, arriving at arrive.
+func (nw *Network) postEOF(from *Host, p *pipe, arrive time.Time) {
+	d := from.np().newDelivery(nw)
+	d.kind = dlvXEOF
+	d.pipe = p
+	nw.pk.Post(from.part, p.dst.part, int64(arrive.Sub(sim.Epoch)), d.run)
+}
+
+// postDgram ships a datagram across partitions, arriving at arrive.
+func (nw *Network) postDgram(from, to *Host, port int, data []byte, fromAddr transport.Addr, arrive time.Time) {
+	d := from.np().newDelivery(nw)
+	d.kind = dlvXDgram
+	d.to = to
+	d.port = port
+	d.data = data
+	d.from = fromAddr
+	nw.ins.QueuedBytes.Add(int64(len(data)))
+	nw.pk.Post(from.part, to.part, int64(arrive.Sub(sim.Epoch)), d.run)
 }

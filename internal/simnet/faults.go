@@ -20,7 +20,9 @@ import (
 // a partition severs links, it does not reach into receive queues.
 //
 // Must be called from a kernel task. A second call replaces the first.
+// Not supported on multi-partition (sharded-kernel) networks.
 func (nw *Network) Partition(sideB []bool) {
+	nw.assertUnpartitioned("Partition")
 	nw.partition = sideB
 	if sideB == nil {
 		return
@@ -55,7 +57,9 @@ func (nw *Network) cut(a, b int) bool {
 // Degrade adds extra one-way latency and datagram loss to links touching
 // the selected hosts (nil selects every host). Streams stay reliable, as
 // in the link model proper; only their delivery slows down.
+// Not supported on multi-partition (sharded-kernel) networks.
 func (nw *Network) Degrade(hosts []bool, extraLatency time.Duration, loss float64) {
+	nw.assertUnpartitioned("Degrade")
 	nw.degHosts = hosts
 	nw.degExtra = extraLatency
 	nw.degLoss = loss

@@ -54,10 +54,11 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	nw.stats.Datagrams++
+	np := p.host.np()
+	np.stats.Datagrams++
 	nw.ins.Datagrams.Inc()
-	if loss := nw.model.Loss(p.host.id, remote.id); loss > 0 && nw.rng.Float64() < loss {
-		nw.stats.DroppedDgrams++
+	if loss := nw.model.Loss(p.host.id, remote.id); loss > 0 && np.rng.Float64() < loss {
+		np.stats.DroppedDgrams++
 		nw.ins.DroppedDgrams.Inc()
 		return len(b), nil
 	}
@@ -65,18 +66,24 @@ func (p *packetConn) WriteTo(b []byte, to transport.Addr) (int, error) {
 	// an rng draw; degradation adds loss sampled only while active, so the
 	// rng sequence with no plan armed is untouched.
 	if nw.cut(p.host.id, remote.id) {
-		nw.stats.DroppedDgrams++
+		np.stats.DroppedDgrams++
 		nw.ins.DroppedDgrams.Inc()
 		return len(b), nil
 	}
 	if nw.degraded && nw.degLoss > 0 && nw.degApplies(p.host.id, remote.id) &&
-		nw.rng.Float64() < nw.degLoss {
-		nw.stats.DroppedDgrams++
+		np.rng.Float64() < nw.degLoss {
+		np.stats.DroppedDgrams++
 		nw.ins.DroppedDgrams.Inc()
 		return len(b), nil
 	}
-	data := nw.getBuf(len(b))
+	data := np.getBuf(len(b))
 	copy(data, b)
+	if nw.cross(p.host, remote) {
+		senderFree := nw.upTimes(p.host, len(data))
+		arrive := senderFree.Add(nw.delay(p.host.id, remote.id))
+		nw.postDgram(p.host, remote, to.Port, data, p.Addr(), arrive)
+		return len(b), nil
+	}
 	_, delivered := nw.sendTimes(p.host, remote, len(data))
 	// Delivery re-checks for a live destination socket at delivery time;
 	// a dead port silently swallows the datagram, like UDP.
@@ -99,7 +106,7 @@ func (p *packetConn) deliver(d dgram) {
 
 // ReadFrom implements transport.PacketConn.
 func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
-	k := p.host.nw.kernel
+	k := p.host.kern()
 	for {
 		if p.closed {
 			return 0, transport.Addr{}, transport.ErrClosed
@@ -109,7 +116,7 @@ func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
 			p.queue[0] = dgram{}
 			p.queue = p.queue[1:]
 			n := copy(b, d.data)
-			p.host.nw.putBuf(d.data) // copied out: recycle the payload
+			p.host.np().putBuf(d.data) // copied out: recycle the payload
 			return n, d.from, nil
 		}
 		if !p.deadline.IsZero() && !k.Now().Before(p.deadline) {
@@ -123,7 +130,7 @@ func (p *packetConn) ReadFrom(b []byte) (int, transport.Addr, error) {
 		switch v := w.Wait().(type) {
 		case dgram:
 			n := copy(b, v.data)
-			p.host.nw.putBuf(v.data)
+			p.host.np().putBuf(v.data)
 			return n, v.from, nil
 		case error:
 			// Our entry in p.waiters is now a stale ref; deliver and
@@ -150,7 +157,7 @@ func (p *packetConn) close() {
 	}
 	p.waiters = nil
 	for _, d := range p.queue {
-		p.host.nw.putBuf(d.data)
+		p.host.np().putBuf(d.data)
 	}
 	p.queue = nil
 }

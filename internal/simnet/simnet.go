@@ -12,6 +12,17 @@
 // An optional processing-delay hook charges per-message CPU cost at the
 // receiver; internal/hostmodel uses it to reproduce the paper's
 // runtime-scalability experiments (Figs. 7 and 8).
+//
+// A network runs either on a single kernel (New) or partitioned across the
+// sub-kernels of a sim.ParKernel (NewPartitioned): hosts are sharded
+// deterministically by ID, intra-partition traffic keeps the pooled
+// fast path unchanged, and cross-partition traffic rides per-source queues
+// drained at the ParKernel's conservative lookahead barriers — the model's
+// minimum link delay is the lookahead window. Host state (uplink/downlink
+// queues, pipes, sockets) is only ever touched by the partition that owns
+// the host: cross-partition sends split the fluid model in two, the sender
+// charging its uplink and the receiver charging its downlink when the
+// message arrives.
 package simnet
 
 import (
@@ -21,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/splaykit/splay/internal/arena"
 	"github.com/splaykit/splay/internal/sim"
 	"github.com/splaykit/splay/internal/transport"
 )
@@ -39,6 +51,16 @@ type LinkModel interface {
 	DownlinkBps(host int) float64
 }
 
+// MinDelayModel is implemented by link models that can state a positive
+// lower bound on the one-way delay between any two *distinct* hosts
+// (self-delay may be zero — a host never crosses a kernel partition to
+// reach itself). Partitioned networks require it: the bound is the
+// conservative lookahead window, inside which partitions provably cannot
+// influence each other.
+type MinDelayModel interface {
+	MinDelay() time.Duration
+}
+
 // Symmetric is a trivial LinkModel: constant delay and bandwidth between
 // every pair, no loss. Useful for tests and local-cluster experiments.
 type Symmetric struct {
@@ -48,6 +70,9 @@ type Symmetric struct {
 
 // Delay returns half the configured RTT.
 func (s Symmetric) Delay(a, b int) time.Duration { return s.RTT / 2 }
+
+// MinDelay returns the one-way delay, the partitioning lookahead bound.
+func (s Symmetric) MinDelay() time.Duration { return s.RTT / 2 }
 
 // Loss always returns 0.
 func (s Symmetric) Loss(a, b int) float64 { return 0 }
@@ -62,46 +87,69 @@ func (s Symmetric) DownlinkBps(host int) float64 { return s.Bps }
 // receives size bytes of application data. It runs at delivery time.
 type ProcDelayFunc func(host int, size int) time.Duration
 
-// Network is a simulated network of hosts.
-type Network struct {
-	kernel *sim.Kernel
-	model  LinkModel
-	rng    *rand.Rand
-	hosts  []*Host
-	proc   ProcDelayFunc
-	silent bool // dead hosts blackhole instead of refusing
-
+// netPart is the per-partition slice of network state. Everything a message
+// hot path touches — kernel, rng, delivery and payload pools, connection
+// arenas, stats — lives here, owned exclusively by the partition's worker,
+// so partitions never contend and never race. A single-kernel network is
+// simply a network with one partition.
+type netPart struct {
+	k       *sim.Kernel
+	rng     *rand.Rand
 	freeDlv *delivery // pooled scheduled messages (see delivery.go)
 	freeBuf [][]byte  // pooled payload buffers (see getBuf/putBuf)
+	connSeq int       // conn creation stamp; see newConnPair for uniqueness
+	conns   *arena.Arena[conn]
+	pipes   *arena.Arena[pipe]
+	stats   Stats
+
+	_ [64]byte // keep neighbouring partitions off this cache line
+}
+
+func (pt *netPart) init(k *sim.Kernel, seed int64) {
+	pt.k = k
+	pt.rng = rand.New(rand.NewSource(seed))
+	pt.conns = arena.New[conn](256)
+	pt.pipes = arena.New[pipe](256)
+}
+
+// Network is a simulated network of hosts.
+type Network struct {
+	pk    *sim.ParKernel // nil on single-kernel networks
+	model LinkModel
+	parts []netPart
+	slab  []Host  // all host state, one dense slab
+	hosts []*Host // stable pointers into slab
+	proc  ProcDelayFunc
+	silent bool // dead hosts blackhole instead of refusing
 
 	// Fault-plane state, driven by the scenario layer's actuators (see
 	// internal/faults). All zero when no fault plan is active: every hook
 	// below nil-checks before doing anything, so an empty plan adds no
 	// kernel events and changes no rng draws — the schedule-neutrality
-	// invariant the simulation goldens pin.
+	// invariant the simulation goldens pin. Fault injection requires a
+	// single-partition network (see assertUnpartitioned).
 	partition []bool        // partition side by host id; nil = no partition
 	degHosts  []bool        // degraded hosts; nil while degraded = all hosts
 	degExtra  time.Duration // added one-way delay on degraded links
 	degLoss   float64       // added datagram loss on degraded links
 	degraded  bool          // Degrade active (degExtra/degLoss may be 0)
-	connSeq   int           // conn creation stamp for deterministic resets
 
-	stats Stats
-	ins   Instruments
+	ins Instruments
 }
 
-// getBuf returns a payload buffer of length n from the network's free
+// getBuf returns a payload buffer of length n from the partition's free
 // list, growing a recycled buffer when needed. Payload copies are the
 // one per-message allocation the delivery fast path cannot avoid — every
 // stream write and datagram copies its bytes so the sender may reuse its
 // slice — so the copies ride pooled buffers instead: recycled when the
 // reader fully consumes a segment or a delivery is dropped (dead port,
-// frozen pipe). See DESIGN.md for the ownership rules.
-func (nw *Network) getBuf(n int) []byte {
-	if l := len(nw.freeBuf); l > 0 {
-		b := nw.freeBuf[l-1]
-		nw.freeBuf[l-1] = nil
-		nw.freeBuf = nw.freeBuf[:l-1]
+// frozen pipe). See DESIGN.md for the ownership rules. Cross-partition
+// payloads drain into the receiver's pool; flows balance out.
+func (pt *netPart) getBuf(n int) []byte {
+	if l := len(pt.freeBuf); l > 0 {
+		b := pt.freeBuf[l-1]
+		pt.freeBuf[l-1] = nil
+		pt.freeBuf = pt.freeBuf[:l-1]
 		if cap(b) < n {
 			return make([]byte, n)
 		}
@@ -112,11 +160,11 @@ func (nw *Network) getBuf(n int) []byte {
 
 // putBuf recycles a payload buffer. The caller must be the buffer's sole
 // owner: segments go back exactly once, when consumed or dropped.
-func (nw *Network) putBuf(b []byte) {
+func (pt *netPart) putBuf(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
-	nw.freeBuf = append(nw.freeBuf, b)
+	pt.freeBuf = append(pt.freeBuf, b)
 }
 
 // Stats aggregates network-level counters, useful in tests and experiment
@@ -130,26 +178,103 @@ type Stats struct {
 	RefusedDials  uint64
 }
 
-// New creates a network of n hosts over the kernel using the given link
-// model. The seed makes datagram loss and ephemeral choices deterministic.
-func New(k *sim.Kernel, model LinkModel, n int, seed int64) *Network {
+func (s *Stats) add(o *Stats) {
+	s.StreamBytes += o.StreamBytes
+	s.StreamMsgs += o.StreamMsgs
+	s.Datagrams += o.Datagrams
+	s.DroppedDgrams += o.DroppedDgrams
+	s.Dials += o.Dials
+	s.RefusedDials += o.RefusedDials
+}
+
+func newNetwork(model LinkModel, n int) *Network {
 	nw := &Network{
-		kernel: k,
-		model:  model,
-		rng:    rand.New(rand.NewSource(seed)),
-		hosts:  make([]*Host, n),
+		model: model,
+		slab:  make([]Host, n),
+		hosts: make([]*Host, n),
 	}
-	for i := range nw.hosts {
-		nw.hosts[i] = newHost(nw, i)
+	for i := range nw.slab {
+		h := &nw.slab[i]
+		h.nw = nw
+		h.id = i
+		h.nextEphem = 40000
+		nw.hosts[i] = h
 	}
 	return nw
 }
 
-// Kernel returns the kernel driving this network.
-func (nw *Network) Kernel() *sim.Kernel { return nw.kernel }
+// New creates a network of n hosts over the kernel using the given link
+// model. The seed makes datagram loss and ephemeral choices deterministic.
+func New(k *sim.Kernel, model LinkModel, n int, seed int64) *Network {
+	nw := newNetwork(model, n)
+	nw.parts = make([]netPart, 1)
+	nw.parts[0].init(k, seed)
+	return nw
+}
 
-// Stats returns a copy of the network counters.
-func (nw *Network) Stats() Stats { return nw.stats }
+// partSeed derives partition p's rng seed. Partition 0 gets the plain seed,
+// so a one-partition network draws the exact sequence New's networks always
+// drew.
+func partSeed(seed int64, p int) int64 {
+	const golden = int64(-0x61C8864680B583EB) // 2^64 / φ, as a signed word
+	return seed + int64(p)*golden
+}
+
+// NewPartitioned creates a network of n hosts sharded across the
+// sub-kernels of pk: host i lives on partition i mod pk.Parts(), and all of
+// its state is owned by that partition. With more than one partition the
+// link model must implement MinDelayModel with a positive bound no smaller
+// than pk's lookahead — conservative synchronization is only sound when no
+// message can cross partitions faster than the lookahead window.
+//
+// Fault injection (Partition, Degrade, SetDown) is not supported on
+// multi-partition networks and panics.
+func NewPartitioned(pk *sim.ParKernel, model LinkModel, n int, seed int64) (*Network, error) {
+	p := pk.Parts()
+	if p > 1 {
+		md, ok := model.(MinDelayModel)
+		if !ok {
+			return nil, fmt.Errorf("simnet: link model %T does not expose MinDelay; partitioned networks need a positive minimum link delay", model)
+		}
+		if md.MinDelay() <= 0 {
+			return nil, fmt.Errorf("simnet: link model %T has MinDelay %s; partitioned networks need a positive minimum link delay", model, md.MinDelay())
+		}
+		if pk.Lookahead() <= 0 || pk.Lookahead() > md.MinDelay() {
+			return nil, fmt.Errorf("simnet: kernel lookahead %s must be in (0, %s], the model's minimum link delay", pk.Lookahead(), md.MinDelay())
+		}
+	}
+	nw := newNetwork(model, n)
+	nw.pk = pk
+	nw.parts = make([]netPart, p)
+	for i := range nw.parts {
+		nw.parts[i].init(pk.Sub(i), partSeed(seed, i))
+	}
+	for i := range nw.slab {
+		nw.slab[i].part = i % p
+	}
+	return nw, nil
+}
+
+// Kernel returns the kernel driving this network. On a partitioned network
+// it returns partition 0's sub-kernel; drive the simulation through the
+// ParKernel instead.
+func (nw *Network) Kernel() *sim.Kernel { return nw.parts[0].k }
+
+// Par returns the ParKernel on a partitioned network, nil otherwise.
+func (nw *Network) Par() *sim.ParKernel { return nw.pk }
+
+// Partitions returns the number of kernel partitions (1 on single-kernel
+// networks).
+func (nw *Network) Partitions() int { return len(nw.parts) }
+
+// Stats returns the network counters, aggregated across partitions.
+func (nw *Network) Stats() Stats {
+	var s Stats
+	for i := range nw.parts {
+		s.add(&nw.parts[i].stats)
+	}
+	return s
+}
 
 // NumHosts returns the host population size.
 func (nw *Network) NumHosts() int { return len(nw.hosts) }
@@ -166,11 +291,22 @@ func (nw *Network) SetProcDelay(f ProcDelayFunc) { nw.proc = f }
 // models.
 func (nw *Network) SetSilentFailures(on bool) { nw.silent = on }
 
+// assertUnpartitioned guards the fault-plane mutators: they reach across
+// host state in ways only a single event loop can serialize.
+func (nw *Network) assertUnpartitioned(op string) {
+	if len(nw.parts) > 1 {
+		panic("simnet: " + op + " is not supported on a partitioned network")
+	}
+}
+
 // Host returns host i.
 func (nw *Network) Host(i int) *Host { return nw.hosts[i] }
 
 // Node returns host i's transport.Node view.
 func (nw *Network) Node(i int) transport.Node { return nw.hosts[i] }
+
+// cross reports whether traffic between a and b crosses kernel partitions.
+func (nw *Network) cross(a, b *Host) bool { return a.part != b.part }
 
 // HostName returns the canonical name of host i.
 func HostName(i int) string { return "n" + strconv.Itoa(i) }
@@ -213,10 +349,13 @@ func (nw *Network) delay(a, b int) time.Duration {
 
 // Host is one machine in the simulated network. Host implements
 // transport.Node, so application code receives a *Host as its network
-// stack.
+// stack. Hosts live in one dense slab per network, and their socket maps
+// are nil until first use: a 100k-host population costs a few MB, not a
+// few hundred.
 type Host struct {
-	nw *Network
-	id int
+	nw   *Network
+	id   int
+	part int // owning kernel partition; 0 on single-kernel networks
 
 	listeners map[int]*listener
 	packets   map[int]*packetConn
@@ -230,22 +369,28 @@ type Host struct {
 	gen  int  // incremented at every Down/Up transition
 }
 
-func newHost(nw *Network, id int) *Host {
-	return &Host{
-		nw:        nw,
-		id:        id,
-		listeners: make(map[int]*listener),
-		packets:   make(map[int]*packetConn),
-		conns:     make(map[*conn]struct{}),
-		nextEphem: 40000,
-	}
-}
-
 // ID returns the host's index in the network.
 func (h *Host) ID() int { return h.id }
 
+// Part returns the kernel partition that owns this host.
+func (h *Host) Part() int { return h.part }
+
 // Host returns the host's canonical name ("n<i>").
 func (h *Host) Host() string { return HostName(h.id) }
+
+// kern returns the kernel partition-owning this host's state: the network's
+// only kernel on single-kernel networks.
+func (h *Host) kern() *sim.Kernel { return h.nw.parts[h.part].k }
+
+// np returns this host's partition state.
+func (h *Host) np() *netPart { return &h.nw.parts[h.part] }
+
+func (h *Host) addConn(c *conn) {
+	if h.conns == nil {
+		h.conns = make(map[*conn]struct{})
+	}
+	h.conns[c] = struct{}{}
+}
 
 // Down reports whether the machine is currently failed.
 func (h *Host) Down() bool { return h.down }
@@ -254,6 +399,7 @@ func (h *Host) Down() bool { return h.down }
 // connection (both endpoints observe errors), closes its listeners and
 // packet sockets, and refuses future dials until revived.
 func (h *Host) SetDown(down bool) {
+	h.nw.assertUnpartitioned("SetDown")
 	if h.down == down {
 		return
 	}
@@ -275,9 +421,9 @@ func (h *Host) SetDown(down bool) {
 			c.reset()
 		}
 	}
-	h.listeners = make(map[int]*listener)
-	h.packets = make(map[int]*packetConn)
-	h.conns = make(map[*conn]struct{})
+	h.listeners = nil
+	h.packets = nil
+	h.conns = nil
 }
 
 // ephemeralPort returns a free port in [40000, 65000]. It scans the range at
@@ -318,6 +464,9 @@ func (h *Host) Listen(port int) (transport.Listener, error) {
 		return nil, fmt.Errorf("simnet: %s port %d: address already in use", h.Host(), port)
 	}
 	l := &listener{host: h, port: port}
+	if h.listeners == nil {
+		h.listeners = make(map[int]*listener)
+	}
 	h.listeners[port] = l
 	return l, nil
 }
@@ -338,6 +487,9 @@ func (h *Host) ListenPacket(port int) (transport.PacketConn, error) {
 		return nil, fmt.Errorf("simnet: %s udp port %d: address already in use", h.Host(), port)
 	}
 	p := &packetConn{host: h, port: port}
+	if h.packets == nil {
+		h.packets = make(map[int]*packetConn)
+	}
 	h.packets[port] = p
 	return p, nil
 }
@@ -348,8 +500,13 @@ const DefaultDialTimeout = 60 * time.Second
 // Dial implements transport.Node. The handshake costs one round trip; a
 // missing listener or failed host costs the same round trip and returns
 // ErrRefused.
+//
+// Cross-partition dials run the same protocol, split along ownership lines:
+// the SYN is posted to the acceptor's partition (it reads the listener
+// table and creates the pair), the verdict is posted back to the dialer's
+// partition (it registers the local endpoint and wakes the waiter).
 func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, error) {
-	k := h.nw.kernel
+	k := h.kern()
 	if h.down {
 		return nil, transport.ErrClosed
 	}
@@ -360,7 +517,7 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 	if err != nil {
 		return nil, err
 	}
-	h.nw.stats.Dials++
+	h.np().stats.Dials++
 	h.nw.ins.Dials.Inc()
 	port, err := h.ephemeralPort()
 	if err != nil {
@@ -377,10 +534,21 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 	fwd := h.nw.delay(h.id, remote.id)
 	rev := h.nw.delay(remote.id, h.id)
 	gen := h.gen
+	crossing := h.nw.cross(h, remote)
 
 	// SYN arrives at the remote after the forward delay; the verdict
-	// (connection or refusal) travels back after the reverse delay.
-	k.AfterFunc(fwd, func() {
+	// (connection or refusal) travels back after the reverse delay. The SYN
+	// body runs on the remote's partition; every verdict body runs on the
+	// dialer's.
+	syn := func() {
+		rk := remote.kern()
+		verdict := func(fn func()) {
+			if crossing {
+				h.nw.pk.Post(remote.part, h.part, int64(rk.Now().Add(rev).Sub(sim.Epoch)), fn)
+			} else {
+				rk.AfterFunc(rev, fn)
+			}
+		}
 		if remote.down && h.nw.silent {
 			return // blackholed: the dialer's timeout fires
 		}
@@ -389,14 +557,19 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 		}
 		l, ok := remote.listeners[to.Port]
 		if !ok || remote.down {
-			h.nw.stats.RefusedDials++
+			remote.np().stats.RefusedDials++
 			h.nw.ins.RefusedDials.Inc()
-			k.AfterFunc(rev, func() { ref.Wake(transport.ErrRefused) })
+			verdict(func() { ref.Wake(transport.ErrRefused) })
 			return
 		}
 		cl, cr := newConnPair(h, local, remote, to)
 		l.deliver(cr)
-		k.AfterFunc(rev, func() {
+		verdict(func() {
+			if crossing {
+				// The dialer-side endpoint joins its host's table on its
+				// own partition, symmetric with newConnPair registering cr.
+				h.addConn(cl)
+			}
 			if h.down || h.gen != gen {
 				cl.reset()
 				return
@@ -406,7 +579,12 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 				cl.Close()
 			}
 		})
-	})
+	}
+	if crossing {
+		h.nw.pk.Post(h.part, remote.part, int64(k.Now().Add(fwd).Sub(sim.Epoch)), syn)
+	} else {
+		k.AfterFunc(fwd, syn)
+	}
 
 	switch v := w.Wait().(type) {
 	case *conn:
@@ -418,13 +596,11 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 	}
 }
 
-// sendTimes computes the fluid-model schedule for moving size bytes from
-// host a to host b starting now: the instant the sender's uplink releases
-// the message and the instant the payload is fully delivered at b.
-func (nw *Network) sendTimes(a, b *Host, size int) (senderFree, delivered time.Time) {
-	k := nw.kernel
-	now := k.Now()
-
+// upTimes charges size bytes to a's uplink queue starting now and returns
+// the instant the uplink releases the message. Sender-side half of the
+// fluid model; always runs on a's partition.
+func (nw *Network) upTimes(a *Host, size int) (senderFree time.Time) {
+	now := a.kern().Now()
 	up := nw.model.UplinkBps(a.id)
 	txStart := now
 	if txStart.Before(a.upFree) {
@@ -436,8 +612,14 @@ func (nw *Network) sendTimes(a, b *Host, size int) (senderFree, delivered time.T
 	}
 	senderFree = txStart.Add(txDur)
 	a.upFree = senderFree
+	return senderFree
+}
 
-	arrive := senderFree.Add(nw.delay(a.id, b.id))
+// recvTimes charges size bytes to b's downlink queue for a message arriving
+// at arrive and returns the delivery instant, including any processing
+// delay. Receiver-side half of the fluid model; always runs on b's
+// partition (at arrival time, for cross-partition traffic).
+func (nw *Network) recvTimes(b *Host, arrive time.Time, size int) (delivered time.Time) {
 	down := nw.model.DownlinkBps(b.id)
 	rxStart := arrive
 	if rxStart.Before(b.downFree) {
@@ -449,9 +631,20 @@ func (nw *Network) sendTimes(a, b *Host, size int) (senderFree, delivered time.T
 	}
 	delivered = rxStart.Add(rxDur)
 	b.downFree = delivered
-
 	if nw.proc != nil {
 		delivered = delivered.Add(nw.proc(b.id, size))
 	}
+	return delivered
+}
+
+// sendTimes computes the fluid-model schedule for moving size bytes from
+// host a to host b starting now: the instant the sender's uplink releases
+// the message and the instant the payload is fully delivered at b. Both
+// hosts must live on the same partition; cross-partition senders use
+// upTimes and let the destination partition run recvTimes on arrival.
+func (nw *Network) sendTimes(a, b *Host, size int) (senderFree, delivered time.Time) {
+	senderFree = nw.upTimes(a, size)
+	arrive := senderFree.Add(nw.delay(a.id, b.id))
+	delivered = nw.recvTimes(b, arrive, size)
 	return senderFree, delivered
 }

@@ -158,6 +158,22 @@ func (h *IntHistogram) Add(v int) {
 // Total returns the number of observations.
 func (h *IntHistogram) Total() int { return h.total }
 
+// Merge folds o's observations into h. Merging is commutative, so
+// per-partition histograms collected by a sharded simulation combine into
+// the same aggregate in any order.
+func (h *IntHistogram) Merge(o *IntHistogram) {
+	for v, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		for len(h.counts) <= v {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+		h.total += c
+	}
+}
+
 // PDF returns P(X = i) for each i up to the largest observation.
 func (h *IntHistogram) PDF() []float64 {
 	out := make([]float64, len(h.counts))

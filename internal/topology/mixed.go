@@ -72,6 +72,25 @@ func (m *Mixed) DownlinkBps(host int) float64 {
 	return mm.DownlinkBps(i)
 }
 
+// MinDelay implements simnet.MinDelayModel when both sides do: the
+// cross-testbed WAN path cannot be faster than either side's internal
+// minimum, so the bound is the smaller of the two. Returns 0 (not
+// partitionable) when either side lacks a bound.
+func (m *Mixed) MinDelay() time.Duration {
+	a, ok := m.A.(interface{ MinDelay() time.Duration })
+	if !ok {
+		return 0
+	}
+	b, ok := m.B.(interface{ MinDelay() time.Duration })
+	if !ok {
+		return 0
+	}
+	if a.MinDelay() < b.MinDelay() {
+		return a.MinDelay()
+	}
+	return b.MinDelay()
+}
+
 // EdgeDelay lets mixed deployments nest.
 func (m *Mixed) EdgeDelay(host int) time.Duration {
 	mm, i := m.side(host)

@@ -191,6 +191,11 @@ func (m *ModelNet) RTT(a, b int) time.Duration {
 // Delay implements simnet.LinkModel (one-way delay).
 func (m *ModelNet) Delay(a, b int) time.Duration { return m.RTT(a, b) / 2 }
 
+// MinDelay implements simnet.MinDelayModel: the smallest one-way delay
+// between distinct hosts is half the intra-domain RTT (self-delay is zero,
+// but a host never crosses a kernel partition to reach itself).
+func (m *ModelNet) MinDelay() time.Duration { return m.accessRTT / 2 }
+
 // Loss implements simnet.LinkModel; ModelNet links are lossless here.
 func (m *ModelNet) Loss(a, b int) float64 { return 0 }
 

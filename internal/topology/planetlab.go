@@ -73,6 +73,23 @@ func (p *PlanetLab) Delay(a, b int) time.Duration {
 	return p.base[a] + p.base[b]
 }
 
+// MinDelay implements simnet.MinDelayModel: the smallest delay between
+// distinct hosts is the sum of the two smallest per-host contributions.
+func (p *PlanetLab) MinDelay() time.Duration {
+	if len(p.base) < 2 {
+		return 0
+	}
+	lo1, lo2 := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+	for _, d := range p.base {
+		if d < lo1 {
+			lo1, lo2 = d, lo1
+		} else if d < lo2 {
+			lo2 = d
+		}
+	}
+	return lo1 + lo2
+}
+
 // Loss implements simnet.LinkModel.
 func (p *PlanetLab) Loss(a, b int) float64 { return p.cfg.LossProb }
 

@@ -118,6 +118,13 @@ type Scenario struct {
 	// ControllerPort overrides the daemon-connection port (default
 	// 5555 simulated, ephemeral live).
 	ControllerPort int
+	// Workers sets how many OS threads may drive a simulated testbed's
+	// kernel. It is a performance knob only: a scenario's result is a
+	// pure function of Seed and the scenario itself, never of Workers or
+	// GOMAXPROCS (invariant 9, DESIGN.md). Scenario testbeds currently
+	// provision a single kernel partition, so extra workers are parked;
+	// partitioned testbeds (see simnet.NewPartitioned) put them to work.
+	Workers int
 }
 
 // Session is a provisioned scenario: controller started, daemons
@@ -130,6 +137,7 @@ type Session struct {
 	live bool
 
 	k      *sim.Kernel
+	pk     *sim.ParKernel // owns k as its only partition (simulated testbeds)
 	nw     *simnet.Network
 	netIns simnet.Instruments
 	hasNet bool
@@ -227,7 +235,8 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	if seed == 0 {
 		seed = 2009
 	}
-	s := &Session{sc: sc, seed: seed, k: sim.NewKernel()}
+	s := &Session{sc: sc, seed: seed, pk: sim.NewParKernel(1, sc.Workers, 0)}
+	s.k = s.pk.Sub(0)
 	if sc.Churn.Enabled() {
 		return sc.startSimChurn(s, tb)
 	}

@@ -127,6 +127,54 @@ func TestScenarioCollectsMetrics(t *testing.T) {
 	}
 }
 
+// TestScenarioWorkerNeutrality is DESIGN.md invariant 9 at the SDK
+// surface: Workers is a wall-clock knob, so the same simulated scenario
+// must produce an identical Result at any worker count.
+func TestScenarioWorkerNeutrality(t *testing.T) {
+	t.Parallel()
+	type outcome struct {
+		ticks, deploys, frames, bytes uint64
+	}
+	runAt := func(workers int) outcome {
+		sc := splay.Scenario{
+			Seed:    31,
+			Workers: workers,
+			Testbed: splay.Uniform(4, 2*time.Millisecond, 0),
+			Collect: splay.Collect{Metrics: true, ReportEvery: time.Second},
+			Apps: []splay.AppSpec{{
+				Name:  "ticker",
+				Nodes: 3,
+				App: splay.AppFunc(func(env *splay.Env) error {
+					ticks := env.Metrics().Counter("app.ticks")
+					if err := env.StartReporting(); err != nil {
+						return err
+					}
+					env.Periodic(500*time.Millisecond, func() { ticks.Inc() })
+					return nil
+				}),
+			}},
+			Duration: 10 * time.Second,
+		}
+		res, err := sc.Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		frames, bytes := res.Metrics.Received()
+		return outcome{
+			ticks:   res.Metrics.Counter("app.ticks"),
+			deploys: res.Metrics.Counter("ctl.deploys"),
+			frames:  frames,
+			bytes:   bytes,
+		}
+	}
+	ref := runAt(0)
+	for _, w := range []int{1, 4} {
+		if got := runAt(w); got != ref {
+			t.Errorf("Workers=%d changed the result: %+v, want %+v", w, got, ref)
+		}
+	}
+}
+
 // TestScenarioChurn replays a small churn script against an inline app
 // and checks starts and kills both happen.
 func TestScenarioChurn(t *testing.T) {
