@@ -57,6 +57,7 @@ func BenchmarkFig14WebCache(b *testing.B)           { benchExperiment(b, "fig14"
 func BenchmarkCtlplaneDeployment(b *testing.B)      { benchExperiment(b, "ctlplane", 0.05) }
 func BenchmarkLookup10kChordAtScale(b *testing.B)   { benchExperiment(b, "lookup10k", 0.02) }
 func BenchmarkLookup100kSharded(b *testing.B)       { benchExperiment(b, "lookup100k", 0.002) }
+func BenchmarkLookup1mMemoryPlane(b *testing.B)     { benchExperiment(b, "lookup1m", 0.0002) }
 func BenchmarkObsplaneMonitoring(b *testing.B)      { benchExperiment(b, "obsplane", 0.05) }
 func BenchmarkFaultplaneClosedLoop(b *testing.B)    { benchExperiment(b, "faultplane", 0.05) }
 
@@ -192,7 +193,7 @@ func BenchmarkKernelThroughput(b *testing.B) {
 func TestBenchTargetsCoverAllExperiments(t *testing.T) {
 	want := []string{"ctlplane", "faultplane", "fig3", "fig4", "fig6a", "fig6b",
 		"fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "lookup10k", "lookup100k", "obsplane", "tab1"}
+		"fig13", "fig14", "lookup10k", "lookup100k", "lookup1m", "obsplane", "tab1"}
 	have := experiments.IDs()
 	set := map[string]bool{}
 	for _, id := range have {

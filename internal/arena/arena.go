@@ -11,6 +11,8 @@
 // the whole arena (with its Network) to release everything at once.
 package arena
 
+import "unsafe"
+
 // Arena allocates zeroed values of T from chunks of a fixed size. The zero
 // Arena is not usable; create arenas with New. Get is single-threaded per
 // arena: in partitioned simulations each partition owns its own arenas.
@@ -44,3 +46,11 @@ func (a *Arena[T]) Get() *T {
 
 // Len returns the number of values handed out.
 func (a *Arena[T]) Len() int { return a.total }
+
+// Bytes returns the heap bytes the arena's chunks occupy — the memory
+// plane's accounting hook. Chunks are counted whole: slack at the tail
+// of the newest chunk is committed memory like any other slot.
+func (a *Arena[T]) Bytes() uint64 {
+	var zero T
+	return uint64(len(a.chunks)) * uint64(a.size) * uint64(unsafe.Sizeof(zero))
+}

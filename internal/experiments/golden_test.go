@@ -63,7 +63,7 @@ func TestGoldenBitForBit(t *testing.T) {
 		"fig8": 1, "fig9": 0.08, "fig10": 0.05, "fig11": 0.05,
 		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
 		"ctlplane": 0.05, "lookup10k": 0.02, "obsplane": 0.05,
-		"faultplane": 0.05, "lookup100k": 0.002,
+		"faultplane": 0.05, "lookup100k": 0.002, "lookup1m": 0.0002,
 	}
 	specs := make([]Spec, 0, len(scales)+2)
 	for _, id := range IDs() {
@@ -72,8 +72,8 @@ func TestGoldenBitForBit(t *testing.T) {
 			t.Fatalf("experiment %s has no golden scale; extend the table and regenerate", id)
 		}
 		specs = append(specs, Spec{ID: id, Opt: Options{Scale: scale, Seed: 11, Out: io.Discard}})
-		if id == "lookup100k" {
-			// The sharded-kernel experiment must hit the same golden under
+		if id == "lookup100k" || id == "lookup1m" {
+			// The sharded-kernel experiments must hit the same golden under
 			// every worker count (invariant 9): one spec per thread count,
 			// all compared against identical golden lines.
 			for _, w := range []int{2, 4} {

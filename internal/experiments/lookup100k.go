@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/memprof"
 	"github.com/splaykit/splay/internal/protocols/chord"
 	"github.com/splaykit/splay/internal/sim"
 	"github.com/splaykit/splay/internal/simnet"
@@ -31,10 +33,24 @@ const lookup100kParts = 8
 // by the partition count and independent of the worker count.
 func runChordPar(pk *sim.ParKernel, model simnet.LinkModel, n int, cfg chord.Config,
 	lookups int, seed int64) (*chordRun, error) {
+	run, _, err := runChordParProf(pk, model, n, cfg, lookups, seed, nil)
+	return run, err
+}
 
+// runChordParProf is runChordPar with an optional footprint accountant:
+// when acct is non-nil the network, protocol and RPC layers register
+// their byte sources on it, the kernel samples the heap at every
+// lookahead barrier, and the returned report measures the live system —
+// taken while every node is still reachable. The accountant only reads
+// memory statistics, so the schedule (and every golden) is identical
+// with or without it.
+func runChordParProf(pk *sim.ParKernel, model simnet.LinkModel, n int, cfg chord.Config,
+	lookups int, seed int64, acct *memprof.Accountant) (*chordRun, memprof.Report, error) {
+
+	var rep memprof.Report
 	nw, err := simnet.NewPartitioned(pk, model, n, seed)
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	parts := pk.Parts()
 	rts := make([]*core.SimRuntime, parts)
@@ -43,25 +59,39 @@ func runChordPar(pk *sim.ParKernel, model simnet.LinkModel, n int, cfg chord.Con
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	ids := make(map[uint64]bool, n)
-	nodes := make([]*chord.Node, 0, n)
+	// Identifiers and addresses are drawn before any node exists — the
+	// same rng, the same draw order — so the whole population is known
+	// upfront and its intern base can be built once and shared read-only
+	// by every partition's routing tables (see chord.Shared).
+	seen := make(map[uint64]bool, n)
+	addrs := make([]transport.Addr, n)
+	ids := make([]uint64, n)
 	for i := 0; i < n; i++ {
-		h := nw.Host(i)
-		addr := transport.Addr{Host: simnet.HostName(i), Port: 8000}
-		ctx := core.NewAppContext(rts[h.Part()], nw.Node(i), core.JobInfo{Me: addr, Position: i + 1}, nil)
-		c := cfg
-		var id uint64
+		addrs[i] = transport.Addr{Host: simnet.HostName(i), Port: 8000}
 		for {
-			id = rng.Uint64() & ((1 << cfg.Bits) - 1)
-			if !ids[id] {
-				ids[id] = true
+			id := rng.Uint64() & ((1 << cfg.Bits) - 1)
+			if !seen[id] {
+				seen[id] = true
+				ids[i] = id
 				break
 			}
 		}
-		c.ID = &id
+	}
+	base := chord.Population(cfg, addrs, ids)
+	shareds := make([]*chord.Shared, parts)
+	for p := range shareds {
+		shareds[p] = chord.NewShared(base)
+	}
+	nodes := make([]*chord.Node, 0, n)
+	for i := 0; i < n; i++ {
+		h := nw.Host(i)
+		ctx := core.NewAppContext(rts[h.Part()], nw.Node(i), core.JobInfo{Me: addrs[i], Position: i + 1}, nil)
+		c := cfg
+		c.ID = &ids[i]
+		c.Shared = shareds[h.Part()]
 		node, err := chord.New(ctx, c)
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 		nodes = append(nodes, node)
 	}
@@ -77,14 +107,25 @@ func runChordPar(pk *sim.ParKernel, model simnet.LinkModel, n int, cfg chord.Con
 			}
 		})
 	}
+	if acct != nil {
+		acct.Track("simnet", nw.FootprintBytes)
+		acct.Track("chord.ring", func() uint64 {
+			b := base.Bytes()
+			for _, s := range shareds {
+				b += s.Bytes()
+			}
+			return b
+		})
+		pk.SetBarrierHook(acct.Observe)
+	}
 	pk.Run()
 	for _, err := range startErrs {
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 	}
 	if err := chord.BuildRing(nodes, chord.BuildOptions{}); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 
 	// Per-partition collectors: each is touched only by its partition's
@@ -123,8 +164,17 @@ func runChordPar(pk *sim.ParKernel, model simnet.LinkModel, n int, cfg chord.Con
 		merged.hops.Merge(r.hops)
 		merged.delays = append(merged.delays, r.delays...)
 		merged.fails += r.fails
+		r.hops, r.delays = nil, nil
 	}
-	return merged, nil
+	if acct != nil {
+		// Measure while every node, connection and intern table is still
+		// reachable; only the per-run result data has been dropped.
+		runs = nil
+		rep = acct.Report(n)
+		runtime.KeepAlive(nodes)
+		runtime.KeepAlive(nw)
+	}
+	return merged, rep, nil
 }
 
 // lookup100k pushes Chord another order of magnitude past lookup10k:

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestLookup1mHalfMillion is the CI-sized memory-plane run: lookup1m at
+// half scale — a 500,000-node converged Chord ring on the 16-way sharded
+// kernel, one lookup per node — must complete with zero failed lookups
+// inside a standard CI runner's memory (≈3.5 GB live at the measured
+// bytes/instance). Gated behind SPLAY_LOOKUP1M=1 because the run takes
+// minutes; CI's memplane job sets it, local `go test` skips. Workers
+// only changes wall-clock time (invariant 9), so the test uses every
+// core.
+func TestLookup1mHalfMillion(t *testing.T) {
+	if os.Getenv("SPLAY_LOOKUP1M") == "" {
+		t.Skip("set SPLAY_LOOKUP1M=1 to run the 500k-node memory-plane ring")
+	}
+	var buf bytes.Buffer
+	res, err := Run("lookup1m", Options{Scale: 0.5, Seed: 2009, Out: &buf, Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	if fails := res.Metrics["fails"]; fails != 0 {
+		t.Fatalf("lookup1m at 500k nodes: %v failed lookups, want 0", fails)
+	}
+}

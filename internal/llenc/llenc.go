@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxMessage bounds decoded message sizes so a corrupt or hostile peer
@@ -41,27 +42,43 @@ type FastUnmarshaler interface {
 }
 
 // Writer frames messages onto an io.Writer.
+//
+// Frame staging buffers are borrowed from a package-wide pool for the
+// duration of one write rather than retained per Writer: a system with
+// one framing writer per cached connection (the RPC planes at simulation
+// scale) would otherwise hold every connection's high-water frame size
+// forever. Steady-state writes still allocate nothing.
 type Writer struct {
-	w   io.Writer
-	buf []byte // reused header+payload buffer for WriteMessage
+	w io.Writer
 }
+
+// wbufPool recycles frame staging buffers across all Writers.
+var wbufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // NewWriter returns a framing writer.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Reset points the writer at dst, so a Writer embedded by value in
+// per-connection state needs no separate allocation.
+func (w *Writer) Reset(dst io.Writer) { w.w = dst }
 
 // WriteMessage writes one frame. It is not safe for concurrent use.
 func (w *Writer) WriteMessage(payload []byte) error {
 	if len(payload) > MaxMessage {
 		return ErrTooLarge
 	}
+	bp := wbufPool.Get().(*[]byte)
 	need := headerSize + len(payload)
-	if cap(w.buf) < need {
-		w.buf = make([]byte, need)
+	buf := *bp
+	if cap(buf) < need {
+		buf = make([]byte, need)
 	}
-	buf := w.buf[:need]
+	buf = buf[:need]
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
 	copy(buf[headerSize:], payload)
 	_, err := w.w.Write(buf)
+	*bp = buf[:0]
+	wbufPool.Put(bp)
 	return err
 }
 
@@ -70,17 +87,24 @@ func (w *Writer) WriteMessage(payload []byte) error {
 // skipping both reflection and the payload copy.
 func (w *Writer) Encode(v any) error {
 	if fm, ok := v.(FastMarshaler); ok {
-		frame := append(w.buf[:0], 0, 0, 0, 0)
+		bp := wbufPool.Get().(*[]byte)
+		frame := append((*bp)[:0], 0, 0, 0, 0)
 		if b, ok := fm.AppendJSON(frame); ok {
 			n := len(b) - headerSize
 			if n > MaxMessage {
+				*bp = b[:0]
+				wbufPool.Put(bp)
 				return ErrTooLarge
 			}
 			binary.BigEndian.PutUint32(b, uint32(n))
-			w.buf = b[:0]
 			_, err := w.w.Write(b)
+			*bp = b[:0]
+			wbufPool.Put(bp)
 			return err
 		}
+		// Declined: keep whatever capacity the attempt grew.
+		*bp = frame[:0]
+		wbufPool.Put(bp)
 	}
 	payload, err := json.Marshal(v)
 	if err != nil {

@@ -34,8 +34,12 @@ type Aggregator struct {
 }
 
 // nodeStream is the aggregator's view of one reporting node: its
-// id→series dictionary and last sequence number.
+// id→series dictionary and last sequence number. name is the canonical
+// copy of the node's identifier — every frame decodes its own, and
+// absorb swaps in this one so per-series maps key one shared string
+// instead of retaining a private copy per (series, node).
 type nodeStream struct {
+	name string
 	defs []*series
 	seq  uint64
 }
@@ -175,9 +179,11 @@ func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
 	a.frames++
 	a.bytes += rxBytes
 	if ns == nil {
-		ns = &nodeStream{}
+		ns = &nodeStream{name: node}
 		a.nodes[node] = ns
 		a.nodeOrder = append(a.nodeOrder, node)
+	} else {
+		node = ns.name // shared name table: drop this frame's copy
 	}
 	ns.seq = rep.Seq
 	for _, d := range rep.Defs {

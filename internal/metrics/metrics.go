@@ -71,10 +71,30 @@ type shard struct {
 	_ [56]byte
 }
 
+// shardBlock is a counter's stripe storage, allocated on first touch: a
+// registered-but-idle counter (error and timeout series on a healthy
+// node, most of a wide instrument set) costs one pointer, not 512 bytes
+// of padded cache lines. See DESIGN.md ("The memory plane").
+type shardBlock [numShards]shard
+
 // Counter is a monotonically increasing count, sharded across cache
 // lines. The zero value is ready to use; a nil *Counter discards.
 type Counter struct {
-	shards [numShards]shard
+	shards atomic.Pointer[shardBlock]
+}
+
+// block returns the stripe storage, allocating it on the first call. A
+// racing allocation loses the CAS and adopts the winner's block, so
+// every writer stripes over the same storage.
+func (c *Counter) block() *shardBlock {
+	b := c.shards.Load()
+	if b == nil {
+		b = new(shardBlock)
+		if !c.shards.CompareAndSwap(nil, b) {
+			b = c.shards.Load()
+		}
+	}
+	return b
 }
 
 // Inc adds one.
@@ -85,7 +105,7 @@ func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
 	}
-	c.shards[shardHint()].v.Add(n)
+	c.block()[shardHint()].v.Add(n)
 }
 
 // Total returns the exact sum across shards.
@@ -93,9 +113,13 @@ func (c *Counter) Total() uint64 {
 	if c == nil {
 		return 0
 	}
+	b := c.shards.Load()
+	if b == nil {
+		return 0
+	}
 	var sum uint64
-	for i := range c.shards {
-		sum += c.shards[i].v.Load()
+	for i := range b {
+		sum += b[i].v.Load()
 	}
 	return sum
 }
@@ -145,11 +169,29 @@ const NumBuckets = 64
 //     i.e. v in [2^(i-1), 2^i) — exponential resolution for nanosecond
 //     latencies up to ~292 years.
 //
-// A nil *Histogram discards.
+// A nil *Histogram discards. Bucket storage is allocated on the first
+// observation, so a registered-but-quiet histogram costs a header, not
+// 512 bytes of bucket words.
 type Histogram struct {
 	kind    Kind
 	sum     atomic.Int64
-	buckets [NumBuckets]atomic.Uint64
+	buckets atomic.Pointer[bucketBlock]
+}
+
+// bucketBlock is a histogram's bucket storage, allocated on first touch.
+type bucketBlock [NumBuckets]atomic.Uint64
+
+// block returns the bucket storage, allocating it on the first call
+// (same CAS discipline as Counter.block).
+func (h *Histogram) block() *bucketBlock {
+	b := h.buckets.Load()
+	if b == nil {
+		b = new(bucketBlock)
+		if !h.buckets.CompareAndSwap(nil, b) {
+			b = h.buckets.Load()
+		}
+	}
+	return b
 }
 
 // bucketOf maps a value to its bucket. Negative values clamp to 0.
@@ -183,7 +225,7 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	h.buckets[bucketOf(h.kind, v)].Add(1)
+	h.block()[bucketOf(h.kind, v)].Add(1)
 	h.sum.Add(v)
 }
 
@@ -200,9 +242,13 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
+	b := h.buckets.Load()
+	if b == nil {
+		return 0
+	}
 	var n uint64
-	for i := range h.buckets {
-		n += h.buckets[i].Load()
+	for i := range b {
+		n += b[i].Load()
 	}
 	return n
 }
@@ -220,31 +266,35 @@ type instrument struct {
 // dense ids in registration order — the dictionary the wire protocol
 // ships once per stream — and is idempotent per name. A nil *Registry
 // hands out nil instruments, the disabled configuration.
+//
+// The instrument list is the only index: a node registers a dozen or so
+// series, looked up once each at startup, so the name map a registry
+// used to carry was pure per-node overhead at population scale.
 type Registry struct {
 	mu     sync.Mutex
 	instrs []*instrument
-	byName map[string]*instrument
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*instrument)}
+	return &Registry{}
 }
 
-// lookup returns the named instrument, creating it with make when
-// absent. Existing instruments of a different kind return nil rather
-// than mixing series.
+// lookup returns the named instrument, creating it with mk when absent.
+// Existing instruments of a different kind return nil rather than
+// mixing series.
 func (r *Registry) lookup(name string, kind Kind, mk func() *instrument) *instrument {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if in, ok := r.byName[name]; ok {
-		if in.kind != kind {
-			return nil
+	for _, in := range r.instrs {
+		if in.name == name {
+			if in.kind != kind {
+				return nil
+			}
+			return in
 		}
-		return in
 	}
 	in := mk()
-	r.byName[name] = in
 	r.instrs = append(r.instrs, in)
 	return in
 }

@@ -106,9 +106,11 @@ func appendDelta(reg *Registry, st *deltaState, rep *Report) bool {
 			}
 			hs := s.h
 			pairs := hs.pairs[:0]
-			for b := range in.h.buckets {
-				if d := in.h.buckets[b].Load() - hs.buckets[b]; d != 0 {
-					pairs = append(pairs, uint64(b), d)
+			if bb := in.h.buckets.Load(); bb != nil { // untouched: nothing to delta
+				for b := range bb {
+					if d := bb[b].Load() - hs.buckets[b]; d != 0 {
+						pairs = append(pairs, uint64(b), d)
+					}
 				}
 			}
 			hs.pairs = pairs

@@ -62,7 +62,7 @@ func BuildRing(nodes []*Node, opts BuildOptions) error {
 		if n.cfg.FaultTolerant {
 			n.succs = n.succs[:0]
 			for j := 0; j < n.cfg.SuccListLen && j < len(refs)-1; j++ {
-				n.succs = append(n.succs, refs[(i+1+j)%len(refs)])
+				n.succs = append(n.succs, n.intern(refs[(i+1+j)%len(refs)]))
 			}
 		}
 
@@ -70,7 +70,7 @@ func BuildRing(nodes []*Node, opts BuildOptions) error {
 			start := n.space.FingerStart(n.self.ID, f)
 			idx := successorOf(start)
 			if opts.Oracle == nil {
-				n.finger[f] = refs[idx]
+				n.finger[f] = n.intern(refs[idx])
 				continue
 			}
 			// Latency-aware: the entry may be any node in the finger's
@@ -95,7 +95,7 @@ func BuildRing(nodes []*Node, opts BuildOptions) error {
 					break
 				}
 			}
-			n.finger[f] = best
+			n.finger[f] = n.intern(best)
 		}
 	}
 	return nil

@@ -75,6 +75,10 @@ type Config struct {
 	// Candidates bounds how many candidates latency-aware selection
 	// probes per finger.
 	Candidates int
+	// Shared, when set, is the per-partition memory plane this node
+	// stores its routing state in (see Shared). All nodes sharing one
+	// must live on the same partition. Nil gets a private instance.
+	Shared *Shared
 }
 
 // DefaultConfig mirrors §4: m=24, 5 s stabilization, 2 min RPC timeout.
@@ -133,13 +137,20 @@ type Stats struct {
 // Node is one Chord instance.
 type Node struct {
 	ctx   *core.AppContext
-	cfg   Config
+	cfg   *Config // normalized and interned in shared: one copy per deployment
 	space ring.Space
 
-	self   NodeRef
-	pred   NodeRef   // zero when unknown
-	finger []NodeRef // 1-based: finger[1] is the successor
-	succs  []NodeRef // successor list (fault-tolerant mode)
+	self  NodeRef
+	hself ring.Handle // n.self interned, the handle hot paths compare
+	pred  NodeRef     // zero when unknown
+
+	// Routing state is stored as intern handles into shared.refs, not
+	// references: 4 bytes per entry instead of ~32, with the finger
+	// array carved from the partition's slab. See DESIGN.md ("The
+	// memory plane").
+	shared *Shared
+	finger []ring.Handle // 1-based: finger[1] is the successor
+	succs  []ring.Handle // successor list (fault-tolerant mode)
 
 	server *rpc.Server
 	client *rpc.Client
@@ -149,7 +160,7 @@ type Node struct {
 	refresh uint // next finger to refresh (paper's refresh variable)
 	stats   Stats
 	ins     Instruments
-	rpcIns  rpc.Instruments
+	rpcIns  *rpc.Instruments // nil when uninstrumented (the common case at scale)
 	stops   []func()
 }
 
@@ -175,27 +186,39 @@ func New(ctx *core.AppContext, cfg Config) (*Node, error) {
 	if cfg.ID != nil {
 		id = space.Fold(*cfg.ID)
 	}
+	shared := cfg.Shared
+	if shared == nil {
+		shared = NewShared(nil)
+	}
 	n := &Node{
 		ctx:    ctx,
-		cfg:    cfg,
+		cfg:    shared.internConfig(cfg),
 		space:  space,
 		self:   NodeRef{ID: id, Addr: ctx.Job.Me},
-		finger: make([]NodeRef, cfg.Bits+1),
+		shared: shared,
+		finger: shared.fingers(int(cfg.Bits) + 1),
 	}
 	// The node's own reference travels in every notify and join; encode
 	// it once and hand the canonical bytes to each call.
 	n.selfArg = rpc.PreEncode(n.self)
-	n.finger[1] = n.self // a fresh node is its own successor
+	n.hself = shared.refs.Put(n.self)
+	n.finger[1] = n.hself // a fresh node is its own successor
 	n.client = rpc.NewClient(ctx)
 	n.client.Timeout = cfg.RPCTimeout
 	return n, nil
 }
 
+// intern resolves a reference to its handle in the node's shared table.
+func (n *Node) intern(r NodeRef) ring.Handle { return n.shared.refs.Put(r) }
+
+// ref resolves a handle back to the reference it names.
+func (n *Node) ref(h ring.Handle) NodeRef { return n.shared.refs.Get(h) }
+
 // Self returns the node's reference.
 func (n *Node) Self() NodeRef { return n.self }
 
 // Successor returns the current successor.
-func (n *Node) Successor() NodeRef { return n.finger[1] }
+func (n *Node) Successor() NodeRef { return n.ref(n.finger[1]) }
 
 // Predecessor returns the current predecessor (zero when unknown).
 func (n *Node) Predecessor() NodeRef { return n.pred }
@@ -209,7 +232,7 @@ func (n *Node) SetInstruments(ins Instruments) { n.ins = ins }
 // SetRPCInstruments attaches instruments to the node's message plane:
 // the RPC client immediately and the server when Start runs.
 func (n *Node) SetRPCInstruments(ins rpc.Instruments) {
-	n.rpcIns = ins
+	n.rpcIns = &ins
 	n.client.SetInstruments(ins)
 	if n.server != nil {
 		n.server.SetInstruments(ins)
@@ -220,7 +243,9 @@ func (n *Node) SetRPCInstruments(ins rpc.Instruments) {
 // (Listing 3: rpc.server(n.port)).
 func (n *Node) Start() error {
 	s := rpc.NewServer(n.ctx)
-	s.SetInstruments(n.rpcIns)
+	if n.rpcIns != nil {
+		s.SetInstruments(*n.rpcIns)
+	}
 	s.Register("find_successor", n.handleFindSuccessor)
 	s.Register("predecessor", n.handlePredecessor)
 	s.Register("notify", n.handleNotify)
@@ -265,16 +290,18 @@ func (n *Node) Join(seed transport.Addr) error {
 		return fmt.Errorf("chord: join: %w", err)
 	}
 	n.setSuccessor(fr.Node)
-	n.client.Call(n.finger[1].Addr, "notify", n.selfArg) //nolint:errcheck // stabilization repairs
+	n.client.Call(n.Successor().Addr, "notify", n.selfArg) //nolint:errcheck // stabilization repairs
 	return nil
 }
 
 func (n *Node) setSuccessor(s NodeRef) {
-	n.finger[1] = s
+	h := n.intern(s)
+	n.finger[1] = h
 	if n.cfg.FaultTolerant {
-		// Keep the list's head coherent with the successor.
-		if len(n.succs) == 0 || n.succs[0] != s {
-			n.succs = append([]NodeRef{s}, n.succs...)
+		// Keep the list's head coherent with the successor. Handle
+		// equality is reference equality: the interner is bijective.
+		if len(n.succs) == 0 || n.succs[0] != h {
+			n.succs = append([]ring.Handle{h}, n.succs...)
 			if len(n.succs) > n.cfg.SuccListLen {
 				n.succs = n.succs[:n.cfg.SuccListLen]
 			}
@@ -286,7 +313,7 @@ func (n *Node) setSuccessor(s NodeRef) {
 // predecessor and notify the successor.
 func (n *Node) Stabilize() {
 	n.stats.StabilizeRuns++
-	succ := n.finger[1]
+	succ := n.ref(n.finger[1])
 	if succ.Addr == n.self.Addr {
 		return
 	}
@@ -300,7 +327,7 @@ func (n *Node) Stabilize() {
 		n.space.Between(x.ID, n.self.ID, succ.ID, false, false) {
 		n.setSuccessor(x) // new successor
 	}
-	n.client.Call(n.finger[1].Addr, "notify", n.selfArg) //nolint:errcheck
+	n.client.Call(n.Successor().Addr, "notify", n.selfArg) //nolint:errcheck
 	if n.cfg.FaultTolerant {
 		n.refreshSuccList()
 	}
@@ -309,7 +336,7 @@ func (n *Node) Stabilize() {
 // refreshSuccList pulls the successor's successor list, the §4 leafset
 // extension.
 func (n *Node) refreshSuccList() {
-	succ := n.finger[1]
+	succ := n.ref(n.finger[1])
 	res, err := n.client.Call(succ.Addr, "successors")
 	if err != nil {
 		n.suspect(succ)
@@ -319,10 +346,11 @@ func (n *Node) refreshSuccList() {
 	if err := res.Decode(&list); err != nil {
 		return
 	}
-	merged := []NodeRef{succ}
+	merged := n.succs[:0]
+	merged = append(merged, n.finger[1])
 	for _, r := range list {
 		if r.Addr != n.self.Addr && len(merged) < n.cfg.SuccListLen {
-			merged = append(merged, r)
+			merged = append(merged, n.intern(r))
 		}
 	}
 	n.succs = merged
@@ -360,7 +388,7 @@ func (n *Node) FixFingers() {
 	if n.refresh == 1 {
 		n.setSuccessor(target)
 	} else {
-		n.finger[n.refresh] = target
+		n.finger[n.refresh] = n.intern(target)
 	}
 }
 
@@ -414,22 +442,22 @@ func (n *Node) suspect(peer NodeRef) {
 	}
 	n.stats.Suspected++
 	for i := 1; i <= int(n.cfg.Bits); i++ {
-		if n.finger[i].Addr == peer.Addr {
-			n.finger[i] = NodeRef{}
+		if n.ref(n.finger[i]).Addr == peer.Addr {
+			n.finger[i] = 0
 		}
 	}
 	kept := n.succs[:0]
 	for _, s := range n.succs {
-		if s.Addr != peer.Addr {
+		if n.ref(s).Addr != peer.Addr {
 			kept = append(kept, s)
 		}
 	}
 	n.succs = kept
-	if n.finger[1].IsZero() {
+	if n.finger[1] == 0 {
 		if len(n.succs) > 0 {
 			n.finger[1] = n.succs[0]
 		} else {
-			n.finger[1] = n.self // alone until re-joined
+			n.finger[1] = n.hself // alone until re-joined
 		}
 	}
 	if n.pred.Addr == peer.Addr {
@@ -474,7 +502,7 @@ func (n *Node) handleNotify(args rpc.Args) (any, error) {
 		n.pred = n0
 	}
 	// A lone node adopts its first contact as successor too.
-	if n.finger[1].Addr == n.self.Addr && n0.Addr != n.self.Addr {
+	if n.ref(n.finger[1]).Addr == n.self.Addr && n0.Addr != n.self.Addr {
 		n.setSuccessor(n0)
 	}
 	return nil, nil
@@ -482,9 +510,15 @@ func (n *Node) handleNotify(args rpc.Args) (any, error) {
 
 func (n *Node) handleSuccessors(rpc.Args) (any, error) {
 	if n.cfg.FaultTolerant {
-		return n.succs, nil
+		// Materialize references for the wire; handles are meaningless
+		// outside this partition's intern table.
+		list := make([]NodeRef, len(n.succs))
+		for i, h := range n.succs {
+			list[i] = n.ref(h)
+		}
+		return list, nil
 	}
-	return []NodeRef{n.finger[1]}, nil
+	return []NodeRef{n.ref(n.finger[1])}, nil
 }
 
 // findSuccessor resolves id recursively (Listing 2): answer locally when
@@ -492,7 +526,7 @@ func (n *Node) handleSuccessors(rpc.Args) (any, error) {
 // In fault-tolerant mode failed next hops are suspected and alternates
 // tried.
 func (n *Node) findSuccessor(id uint64, hops int) (findResult, error) {
-	succ := n.finger[1]
+	succ := n.ref(n.finger[1])
 	if succ.Addr == n.self.Addr || n.space.Between(id, n.self.ID, succ.ID, false, true) {
 		return findResult{Node: succ, Hops: hops}, nil
 	}
@@ -519,7 +553,7 @@ func (n *Node) findSuccessor(id uint64, hops int) (findResult, error) {
 			if n0.Addr == succ.Addr && len(n.succs) == 0 {
 				break
 			}
-			succ = n.finger[1]
+			succ = n.ref(n.finger[1])
 			continue
 		}
 		var fr findResult
@@ -539,8 +573,12 @@ func (n *Node) findSuccessor(id uint64, hops int) (findResult, error) {
 // preceding id (Listing 2).
 func (n *Node) closestPreceding(id uint64) NodeRef {
 	for i := int(n.cfg.Bits); i >= 1; i-- {
-		f := n.finger[i]
-		if !f.IsZero() && f.Addr != n.self.Addr &&
+		h := n.finger[i]
+		if h == 0 {
+			continue
+		}
+		f := n.ref(h)
+		if f.Addr != n.self.Addr &&
 			n.space.Between(f.ID, n.self.ID, id, false, false) {
 			return f
 		}

@@ -321,7 +321,7 @@ func TestDynamicFixFingersConverges(t *testing.T) {
 		for f := uint(2); f <= n.cfg.Bits; f += 7 {
 			start := n.space.FingerStart(n.Self().ID, f)
 			want := OwnerOf(tr.nodes, start)
-			if got := n.finger[f]; !got.IsZero() && got.Addr != want.Addr {
+			if got := n.ref(n.finger[f]); !got.IsZero() && got.Addr != want.Addr {
 				t.Fatalf("node %s finger %d = %s, want %s", n.Self(), f, got, want)
 			}
 		}

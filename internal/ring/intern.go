@@ -1,0 +1,147 @@
+// Node-reference interning for the memory plane. A routing table holds
+// the same few thousand peer references thousands of times over: every
+// finger table, successor list and predecessor slot repeats values drawn
+// from one membership. Storing each occurrence as a full reference
+// (identifier plus address) costs tens of bytes; storing a dense uint32
+// handle into a shared table costs four. At a million instances that
+// difference is the gap between fitting in RAM and swapping — the fig8
+// wall the paper measures.
+//
+// Interning is split in two levels so partitioned simulations can share
+// safely without locks:
+//
+//   - Base is an immutable first-seen table built once, before the run,
+//     from the known population. It is read-only and therefore shared by
+//     every partition.
+//   - Interner is the per-partition view: lookups hit the shared Base
+//     first and fall back to a small private overlay for values first
+//     seen at runtime (churn joins, references from outside the base).
+//
+// Handles are deterministic: a value's handle is its first-seen position
+// (base order for preloaded values, overlay arrival order otherwise), so
+// identical seeds produce identical handles — a property the golden
+// suite leans on and intern_test pins.
+package ring
+
+import "unsafe"
+
+// Handle names an interned value. The zero Handle always resolves to the
+// zero value of T, mirroring "unset" routing entries.
+type Handle uint32
+
+// Base is an immutable intern table shared read-only across partitions.
+// Build it once from the known membership before the run starts.
+type Base[T comparable] struct {
+	byVal map[T]Handle
+	vals  []T // vals[0] is the zero value, matching Handle 0
+}
+
+// NewBase interns vals in order, skipping duplicates and zero values.
+func NewBase[T comparable](vals []T) *Base[T] {
+	var zero T
+	b := &Base[T]{
+		byVal: make(map[T]Handle, len(vals)),
+		vals:  make([]T, 1, len(vals)+1),
+	}
+	for _, v := range vals {
+		if v == zero {
+			continue
+		}
+		if _, ok := b.byVal[v]; ok {
+			continue
+		}
+		b.vals = append(b.vals, v)
+		b.byVal[v] = Handle(len(b.vals) - 1)
+	}
+	return b
+}
+
+// Len returns the number of interned values (the zero value excluded).
+func (b *Base[T]) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.vals) - 1
+}
+
+// Bytes approximates the table's heap footprint for memory accounting.
+func (b *Base[T]) Bytes() uint64 {
+	if b == nil {
+		return 0
+	}
+	return tableBytes[T](len(b.vals), cap(b.vals))
+}
+
+// Interner resolves values to dense handles: reads hit the shared
+// immutable base, values outside it land in a private overlay. One
+// Interner belongs to one partition and must not be shared across
+// concurrently-running partitions.
+type Interner[T comparable] struct {
+	base  *Base[T]
+	byVal map[T]Handle // overlay; allocated on first miss
+	vals  []T          // overlay values; vals[i] has handle baseLen+1+i
+}
+
+// NewInterner returns an interner over base (which may be nil).
+func NewInterner[T comparable](base *Base[T]) *Interner[T] {
+	return &Interner[T]{base: base}
+}
+
+// Put interns v and returns its handle, assigning a new one on first
+// sight. The zero value always maps to Handle 0.
+func (in *Interner[T]) Put(v T) Handle {
+	var zero T
+	if v == zero {
+		return 0
+	}
+	if in.base != nil {
+		if h, ok := in.base.byVal[v]; ok {
+			return h
+		}
+	}
+	if h, ok := in.byVal[v]; ok {
+		return h
+	}
+	if in.byVal == nil {
+		in.byVal = make(map[T]Handle)
+	}
+	in.vals = append(in.vals, v)
+	h := Handle(in.base.Len() + len(in.vals))
+	in.byVal[v] = h
+	return h
+}
+
+// Get resolves a handle back to its value. Handle 0 is the zero value.
+func (in *Interner[T]) Get(h Handle) T {
+	if h == 0 {
+		var zero T
+		return zero
+	}
+	if base := in.base.Len(); int(h) <= base {
+		return in.base.vals[h]
+	} else {
+		return in.vals[int(h)-base-1]
+	}
+}
+
+// Len returns the number of distinct values reachable through the
+// interner (base plus overlay, the zero value excluded).
+func (in *Interner[T]) Len() int { return in.base.Len() + len(in.vals) }
+
+// Bytes approximates the overlay's heap footprint (the shared base is
+// accounted once by its owner, not per partition).
+func (in *Interner[T]) Bytes() uint64 {
+	if in == nil {
+		return 0
+	}
+	return tableBytes[T](len(in.byVal), cap(in.vals))
+}
+
+// tableBytes estimates a map[T]Handle of n entries plus a []T of the
+// given capacity: map buckets average ~2x the entry payload once
+// per-bucket overhead and load factor are folded in.
+func tableBytes[T comparable](n, valCap int) uint64 {
+	var zero T
+	sz := uint64(unsafe.Sizeof(zero))
+	return uint64(n)*(2*(sz+4)+16) + uint64(valCap)*sz
+}

@@ -1,0 +1,84 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInternHandlesDeterministic pins the property the golden suite
+// leans on: a value's handle is its first-seen position, so identical
+// seeds produce identical handles — across independent interners and
+// regardless of which partition's overlay a runtime value lands in.
+func TestInternHandlesDeterministic(t *testing.T) {
+	draw := func(seed int64) []uint64 {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]uint64, 4096)
+		for i := range vals {
+			vals[i] = rng.Uint64()%512 + 1 // dense: plenty of repeats
+		}
+		return vals
+	}
+	intern := func(seed int64) []Handle {
+		vals := draw(seed)
+		base := NewBase(vals[:1024])
+		in := NewInterner(base)
+		out := make([]Handle, len(vals))
+		for i, v := range vals {
+			out[i] = in.Put(v)
+		}
+		return out
+	}
+	a, b := intern(7), intern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("handle %d drifted between identically-seeded interners: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := intern(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical handle sequences (test is vacuous)")
+	}
+}
+
+// TestInternBaseOverlay covers the two-level resolution contract: base
+// values keep their build-time handles, runtime values get overlay
+// handles past the base, zero always maps to Handle 0, and every handle
+// round-trips through Get.
+func TestInternBaseOverlay(t *testing.T) {
+	base := NewBase([]uint64{10, 20, 0, 10, 30}) // zero and dup skipped
+	if base.Len() != 3 {
+		t.Fatalf("base Len = %d, want 3", base.Len())
+	}
+	in := NewInterner(base)
+	if h := in.Put(0); h != 0 {
+		t.Errorf("zero value interned to handle %d, want 0", h)
+	}
+	if h := in.Put(20); h != 2 {
+		t.Errorf("base value 20 resolved to handle %d, want its build position 2", h)
+	}
+	h40 := in.Put(40)
+	if int(h40) != base.Len()+1 {
+		t.Errorf("first overlay handle = %d, want %d", h40, base.Len()+1)
+	}
+	if h := in.Put(40); h != h40 {
+		t.Errorf("re-interning overlay value changed its handle: %d vs %d", h, h40)
+	}
+	for _, v := range []uint64{10, 20, 30, 40} {
+		if got := in.Get(in.Put(v)); got != v {
+			t.Errorf("Get(Put(%d)) = %d", v, got)
+		}
+	}
+	if got := in.Get(0); got != 0 {
+		t.Errorf("Get(0) = %d, want the zero value", got)
+	}
+	if in.Len() != 4 {
+		t.Errorf("Len = %d, want 4", in.Len())
+	}
+}

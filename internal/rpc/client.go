@@ -37,19 +37,29 @@ type Client struct {
 	// goroutines. It is held only across memory operations — never a
 	// dial, an encode, or a waiter Wait — so the cooperative event
 	// order in simulation is untouched.
+	// peers is the connection pool as a short slice scanned by address:
+	// a protocol instance talks to a handful of neighbours, and at
+	// memory-plane scale a per-client map costs more than its entries.
 	mu      sync.Mutex
 	pooling bool
-	peers   map[transport.Addr]*peerConn
-	ins     Instruments
+	peers   []*peerConn
+	ins     *Instruments // shared noInstruments when disabled; never nil
 	backoff faults.Backoff                   // redial pacing; zero = disabled
-	redials map[transport.Addr]*redialState  // per-destination dial history
+	redials map[transport.Addr]*redialState  // destinations under backoff only
+
+	// deadPeers marks destinations whose pooled connection failed, so
+	// the next dial there counts as a redial. Entries are removed by
+	// that dial — unlike the dial-history map it replaces, which kept
+	// one record per destination ever dialed for the client's lifetime.
+	// Allocated only when redials are instrumented.
+	deadPeers map[transport.Addr]struct{}
 }
 
-// redialState is one destination's dial history: Redials accounting plus
-// the backoff clock. Allocated only when either feature is on, so the
-// default client's allocation profile is unchanged.
+// redialState is one destination's backoff clock. An entry exists only
+// while the destination is failing: it is created on a failed dial and
+// evicted by the next successful one, so a healthy steady state holds
+// no per-destination records (the fabric's no-leak invariant).
 type redialState struct {
-	dialed    bool      // a dial to this destination happened before
 	fails     int       // consecutive dial failures
 	notBefore time.Time // earliest next dial under backoff
 }
@@ -57,7 +67,46 @@ type redialState struct {
 // NewClient returns a client with the paper's default two-minute timeout
 // and pooling enabled.
 func NewClient(ctx *core.AppContext) *Client {
-	return &Client{ctx: ctx, Timeout: DefaultTimeout, pooling: true, peers: make(map[transport.Addr]*peerConn)}
+	return &Client{ctx: ctx, Timeout: DefaultTimeout, pooling: true, ins: &noInstruments}
+}
+
+// findPeer returns the pooled connection to the destination, or nil.
+// Caller holds c.mu.
+func (c *Client) findPeer(to transport.Addr) *peerConn {
+	for _, p := range c.peers {
+		if p.to == to {
+			return p
+		}
+	}
+	return nil
+}
+
+// addPeer pools pc, replacing any previous connection to the same
+// destination (the exact semantics of the map assignment it replaces).
+// Caller holds c.mu.
+func (c *Client) addPeer(pc *peerConn) {
+	for i := range c.peers {
+		if c.peers[i].to == pc.to {
+			c.peers[i] = pc
+			return
+		}
+	}
+	c.peers = append(c.peers, pc)
+}
+
+// removePeer drops p from the pool if it is still pooled there. Matching
+// by connection (not address) means a failed connection can never evict
+// its own replacement. Caller holds c.mu.
+func (c *Client) removePeer(p *peerConn) {
+	for i := range c.peers {
+		if c.peers[i] == p {
+			last := len(c.peers) - 1
+			copy(c.peers[i:], c.peers[i+1:])
+			c.peers[last] = nil
+			c.peers = c.peers[:last]
+			return
+		}
+	}
 }
 
 // SetPooling toggles connection reuse (ablation: one connection per call
@@ -154,8 +203,8 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		return pc, pc.lastErr()
 	}
 	c.mu.Lock()
-	pc, ok := c.peers[to]
-	if ok && !pc.broken {
+	pc := c.findPeer(to)
+	if pc != nil && !pc.broken {
 		if pc.ready {
 			c.mu.Unlock()
 			return pc, nil
@@ -181,15 +230,15 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 			w.Wait() //nolint:errcheck
 			return pc, nil
 		}
-		pc.dialWaiters = append(pc.dialWaiters, w)
+		pc.pending = append(pc.pending, pendingCall{w: w})
 		c.mu.Unlock()
 		if v := w.Wait(); v != nil {
 			// Timed out before the dial verdict: drop our (now recycled,
 			// pooled) waiter from the list so the verdict cannot touch it.
 			c.mu.Lock()
-			for i, dw := range pc.dialWaiters {
-				if dw == w {
-					pc.dialWaiters = append(pc.dialWaiters[:i], pc.dialWaiters[i+1:]...)
+			for i := range pc.pending {
+				if pc.pending[i].w == w {
+					pc.pending = append(pc.pending[:i], pc.pending[i+1:]...)
 					break
 				}
 			}
@@ -199,24 +248,18 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 		return pc, nil
 	}
 	pc = newPeerConn(c, to, true)
-	c.peers[to] = pc
+	c.addPeer(pc)
 	var wait time.Duration
-	if c.ins.Redials != nil || c.backoff.Enabled() {
-		// Retry accounting and backoff pacing share the per-destination
-		// dial history: a second dial to the same destination means the
-		// pooled peer died since last use.
-		if c.redials == nil {
-			c.redials = make(map[transport.Addr]*redialState)
-		}
-		rs := c.redials[to]
-		if rs == nil {
-			rs = &redialState{}
-			c.redials[to] = rs
-		}
-		if rs.dialed && c.ins.Redials != nil {
+	if c.ins.Redials != nil {
+		// A pooled peer to this destination died since last use: this
+		// dial replaces it, which is what Redials counts. Consuming the
+		// mark here keeps the set bounded by currently-dead peers.
+		if _, dead := c.deadPeers[to]; dead {
+			delete(c.deadPeers, to)
 			c.ins.Redials.Inc()
 		}
-		rs.dialed = true
+	}
+	if rs := c.redials[to]; rs != nil {
 		if now := c.ctx.Now(); now.Before(rs.notBefore) {
 			wait = rs.notBefore.Sub(now)
 		}
@@ -232,14 +275,21 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 	err := pc.lastErr()
 	if c.backoff.Enabled() {
 		c.mu.Lock()
-		if rs := c.redials[to]; rs != nil {
-			if err != nil {
-				rs.fails++
-				rs.notBefore = c.ctx.Now().Add(c.backoff.Delay(rs.fails-1, c.ctx.Rand()))
-			} else {
-				rs.fails = 0
-				rs.notBefore = time.Time{}
+		if err != nil {
+			rs := c.redials[to]
+			if rs == nil {
+				if c.redials == nil {
+					c.redials = make(map[transport.Addr]*redialState)
+				}
+				rs = &redialState{}
+				c.redials[to] = rs
 			}
+			rs.fails++
+			rs.notBefore = c.ctx.Now().Add(c.backoff.Delay(rs.fails-1, c.ctx.Rand()))
+		} else {
+			// Healthy again: evict the backoff record rather than zero
+			// it, so repeatedly cycling destinations cannot grow the map.
+			delete(c.redials, to)
 		}
 		c.mu.Unlock()
 	}
@@ -249,26 +299,42 @@ func (c *Client) peer(to transport.Addr, timeout time.Duration) (*peerConn, erro
 	return pc, nil
 }
 
-// peerConn multiplexes calls to one destination over one stream.
+// peerConn multiplexes calls to one destination over one stream. It is
+// the client fabric's unit of consolidation: the framing writer and the
+// event frame reader embed by value, and in-flight calls ride a short
+// ordered slice instead of a per-connection map — an idle pooled peer is
+// one allocation (plus its write lock and encode thunk), not a
+// constellation of maps, readers and closures.
 type peerConn struct {
 	client *Client
 	to     transport.Addr
 	pooled bool
 
-	conn    transport.Conn
-	enc     *llenc.Writer
-	wlock   *core.Lock
-	scratch request // encode staging; guarded by wlock so &scratch never escapes a call
-	encFn   func()  // encodes scratch into encErr; run under wlock + ctx.Blocking
-	encErr  error   // guarded by wlock
+	conn  transport.Conn
+	enc   llenc.Writer // framing writer, embedded
+	wlock core.Lock    // write lock, embedded; encode staging rides pooled encJobs
 
-	ready       bool
-	broken      bool
-	err         error
-	dialWaiters []core.Waiter
+	ready  bool
+	broken bool
+	err    error
 
+	// pending holds every caller parked on this connection, in arrival
+	// order. Before ready it holds dial waiters (id 0); once ready it
+	// holds in-flight calls (ids ascend from 1). The phases are disjoint
+	// — calls are only issued against a ready connection — so one slice
+	// serves both, and a linear scan beats a map on both bytes and
+	// lookup time at the couple of entries a connection ever carries.
 	nextID  uint64
-	pending map[uint64]core.Waiter
+	pending []pendingCall
+
+	fr frameReader // event-driven read state, embedded
+}
+
+// pendingCall pairs a parked caller's waiter with its request id — 0 for
+// a dial waiter, the call's id once the connection is ready.
+type pendingCall struct {
+	id uint64
+	w  core.Waiter
 }
 
 func newPeerConn(c *Client, to transport.Addr, pooled bool) *peerConn {
@@ -276,14 +342,44 @@ func newPeerConn(c *Client, to transport.Addr, pooled bool) *peerConn {
 	// instance baton, so the current writer (who holds the baton inside
 	// its Blocking section) can finish.
 	p := &peerConn{
-		client:  c,
-		to:      to,
-		pooled:  pooled,
-		wlock:   c.ctx.NewLock(),
-		pending: make(map[uint64]core.Waiter),
+		client: c,
+		to:     to,
+		pooled: pooled,
 	}
-	p.encFn = func() { p.encErr = p.enc.Encode(&p.scratch) }
+	c.ctx.InitLock(&p.wlock)
 	return p
+}
+
+// encJob stages one request encode so it can run under ctx.Blocking with
+// a closure allocated once per pooled object, not once per connection —
+// per-connection staging fields would be dead weight on every idle peer.
+// A job is borrowed under the connection's wlock for the duration of one
+// send.
+type encJob struct {
+	w   *llenc.Writer
+	req request
+	err error
+	run func()
+}
+
+var encJobPool = sync.Pool{New: func() any {
+	j := &encJob{}
+	j.run = func() { j.err = j.w.Encode(&j.req) }
+	return j
+}}
+
+// takePending removes and returns the waiter for id. The caller holds
+// client.mu.
+func (p *peerConn) takePending(id uint64) (core.Waiter, bool) {
+	for i, pcall := range p.pending {
+		if pcall.id == id {
+			copy(p.pending[i:], p.pending[i+1:])
+			p.pending[len(p.pending)-1] = pendingCall{}
+			p.pending = p.pending[:len(p.pending)-1]
+			return pcall.w, true
+		}
+	}
+	return nil, false
 }
 
 func (p *peerConn) dial(timeout time.Duration) {
@@ -300,14 +396,22 @@ func (p *peerConn) dial(timeout time.Duration) {
 	conn = p.client.ins.meter(conn)
 	p.client.mu.Lock()
 	p.conn = conn
-	p.enc = llenc.NewWriter(conn)
+	p.enc.Reset(conn)
 	p.ready = true
-	ws := p.dialWaiters
-	p.dialWaiters = nil
+	ws := p.pending // all dial waiters: no calls exist before ready
+	p.pending = nil
 	p.client.mu.Unlock()
 	p.client.ctx.Track(conn)
-	for _, w := range ws {
-		w.Wake(nil)
+	for _, pcall := range ws {
+		pcall.w.Wake(nil)
+	}
+	if ec, ok := conn.(transport.EventConn); ok {
+		// Event-driven responses: the same spawn installs the embedded
+		// frame reader instead of parking readLoop, so an idle pooled
+		// peer holds no goroutine (see eventloop.go).
+		p.fr.init(ec, p)
+		p.client.ctx.Go(p.fr.run)
+		return
 	}
 	p.client.ctx.Go(p.readLoop)
 }
@@ -330,31 +434,26 @@ func (p *peerConn) fail(err error) {
 	p.broken = true
 	p.err = err
 	if p.pooled {
-		delete(c.peers, p.to)
+		c.removePeer(p)
+		if c.ins.Redials != nil {
+			// Mark the destination so the dial that replaces this
+			// connection counts as a redial (see Client.deadPeers).
+			if c.deadPeers == nil {
+				c.deadPeers = make(map[transport.Addr]struct{})
+			}
+			c.deadPeers[p.to] = struct{}{}
+		}
 	}
 	conn := p.conn
-	dws := p.dialWaiters
-	p.dialWaiters = nil
-	type idWaiter struct {
-		id uint64
-		w  core.Waiter
-	}
-	var pend []idWaiter
-	for id, w := range p.pending {
-		pend = append(pend, idWaiter{id, w})
-	}
-	for _, iw := range pend {
-		delete(p.pending, iw.id)
-	}
+	pend := p.pending
+	p.pending = nil
 	c.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 	}
-	for _, w := range dws {
-		w.Wake(err)
-	}
-	for _, iw := range pend {
-		iw.w.Wake(err)
+	// Arrival order: dial waiters or in-flight calls, oldest first.
+	for _, pcall := range pend {
+		pcall.w.Wake(err)
 	}
 }
 
@@ -381,29 +480,46 @@ func (p *peerConn) readLoop() {
 			p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
 			return
 		}
-		resp := respPool.Get().(*response)
-		if !resp.parseJSON(payload) {
-			*resp = response{}
-			if err := json.Unmarshal(payload, resp); err != nil {
-				putResp(resp)
-				p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
-				return
-			}
-		}
-		p.client.mu.Lock()
-		w, ok := p.pending[resp.ID]
-		if ok {
-			delete(p.pending, resp.ID)
-		}
-		p.client.mu.Unlock()
-		if !ok {
-			putResp(resp) // response after the caller timed out
-			continue
-		}
-		if !w.Wake(resp) {
-			putResp(resp)
+		if !p.handleResponse(payload) {
+			return
 		}
 	}
+}
+
+// onFrame and onEnd make peerConn the sink of its embedded frame
+// reader; frame processing is shared with readLoop (handleResponse),
+// keeping both forms schedule-identical.
+func (p *peerConn) onFrame(payload []byte) bool { return p.handleResponse(payload) }
+
+func (p *peerConn) onEnd(err error) {
+	if err != nil {
+		p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
+	}
+}
+
+// handleResponse processes one response frame, waking the pending
+// caller; false means the connection is dead (and already failed).
+func (p *peerConn) handleResponse(payload []byte) bool {
+	resp := respPool.Get().(*response)
+	if !resp.parseJSON(payload) {
+		*resp = response{}
+		if err := json.Unmarshal(payload, resp); err != nil {
+			putResp(resp)
+			p.fail(fmt.Errorf("rpc: connection to %s lost: %w", p.to, err))
+			return false
+		}
+	}
+	p.client.mu.Lock()
+	w, ok := p.takePending(resp.ID)
+	p.client.mu.Unlock()
+	if !ok {
+		putResp(resp) // response after the caller timed out
+		return true
+	}
+	if !w.Wake(resp) {
+		putResp(resp)
+	}
+	return true
 }
 
 // send writes the request under the connection's write lock and reports
@@ -414,18 +530,20 @@ func (p *peerConn) readLoop() {
 // and a client frame is written by the task that owns the call anyway.
 func (p *peerConn) send(req request) bool {
 	p.wlock.Lock()
-	p.scratch = req
+	j := encJobPool.Get().(*encJob)
+	j.w, j.req = &p.enc, req
 	// Yield the instance baton across the (live-)blocking socket write:
 	// holding it would stall every other task of the instance — and
 	// deadlock outright if both ends of a connection filled their TCP
 	// buffers, since the read loops could never drain them.
-	p.client.ctx.Blocking(p.encFn)
-	err := p.encErr
-	p.scratch.Args = nil // drop argument references
+	p.client.ctx.Blocking(j.run)
+	err := j.err
+	j.w, j.err, j.req = nil, nil, request{}
+	encJobPool.Put(j)
 	p.wlock.Unlock()
 	if err != nil {
 		p.client.mu.Lock()
-		delete(p.pending, req.ID)
+		p.takePending(req.ID)
 		p.client.mu.Unlock()
 		p.fail(fmt.Errorf("rpc: send to %s: %w", p.to, err))
 		return false
@@ -457,7 +575,7 @@ func (p *peerConn) call(timeout time.Duration, method string, args []any) (Resul
 		w.Wait() //nolint:errcheck
 		return nil, err
 	}
-	p.pending[id] = w
+	p.pending = append(p.pending, pendingCall{id: id, w: w})
 	c.mu.Unlock()
 
 	if !p.send(request{ID: id, Method: method, Args: args}) {
@@ -477,7 +595,7 @@ func (p *peerConn) call(timeout time.Duration, method string, args []any) (Resul
 		return Result(result), nil
 	case error:
 		c.mu.Lock()
-		delete(p.pending, id)
+		p.takePending(id)
 		c.mu.Unlock()
 		if !p.pooled {
 			p.conn.Close()

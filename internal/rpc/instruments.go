@@ -38,13 +38,19 @@ func NewInstruments(reg *metrics.Registry) Instruments {
 	}
 }
 
+// noInstruments is the shared disabled set. Clients and servers point at
+// it until SetInstruments is called, so the uninstrumented common case
+// costs one pointer per endpoint instead of an inline 64-byte struct and
+// no access needs a nil guard. It is never written to.
+var noInstruments Instruments
+
 // SetInstruments attaches instruments to the client. Call it before
 // issuing calls; connections dialed earlier stay uncounted.
-func (c *Client) SetInstruments(ins Instruments) { c.ins = ins }
+func (c *Client) SetInstruments(ins Instruments) { c.ins = &ins }
 
 // SetInstruments attaches instruments to the server. Call it before
 // Start.
-func (s *Server) SetInstruments(ins Instruments) { s.ins = ins }
+func (s *Server) SetInstruments(ins Instruments) { s.ins = &ins }
 
 // countedConn meters a connection's bytes in both directions. It is
 // pure delegation — no buffering, no scheduling — so wrapping changes
@@ -66,10 +72,30 @@ func (cc countedConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// countedEventConn is countedConn for EventConn transports, preserving
+// the event-read capability through the metering wrapper. TryRead
+// counts exactly the bytes a metered Read would.
+type countedEventConn struct {
+	countedConn
+	ec transport.EventConn
+}
+
+func (cc countedEventConn) TryRead(p []byte) (int, error) {
+	n, err := cc.ec.TryRead(p)
+	cc.in.Add(uint64(n))
+	return n, err
+}
+
+func (cc countedEventConn) OnReadable(cb func()) { cc.ec.OnReadable(cb) }
+
 // meter wraps conn when byte counting is on.
 func (ins *Instruments) meter(conn transport.Conn) transport.Conn {
 	if ins.BytesIn == nil && ins.BytesOut == nil {
 		return conn
 	}
-	return countedConn{Conn: conn, in: ins.BytesIn, out: ins.BytesOut}
+	cc := countedConn{Conn: conn, in: ins.BytesIn, out: ins.BytesOut}
+	if ec, ok := conn.(transport.EventConn); ok {
+		return countedEventConn{countedConn: cc, ec: ec}
+	}
+	return cc
 }

@@ -167,36 +167,62 @@ type Handler func(args Args) (any, error)
 type Server struct {
 	ctx *core.AppContext
 
-	mu       sync.RWMutex // guards handlers: Register may race serving under LiveRuntime
-	handlers map[string]Handler
+	// handlers is a short ordered list, not a map: a server registers a
+	// handful of methods, and at memory-plane scale a per-instance map's
+	// header and buckets outweigh the entries. Linear scan with a
+	// non-allocating bytes==string compare is also at least as fast at
+	// these sizes. The RWMutex stays: Register may race serving under
+	// LiveRuntime.
+	mu       sync.RWMutex
+	handlers []namedHandler
 
 	ln     transport.Listener
 	closed bool
-	ins    Instruments
+	ins    *Instruments // shared noInstruments when disabled; never nil
 }
+
+// namedHandler is one registered method.
+type namedHandler struct {
+	name string
+	h    Handler
+}
+
+// pingHandler serves the reserved ping method; shared by every server.
+func pingHandler(Args) (any, error) { return "pong", nil }
 
 // NewServer returns a server bound to the instance context. The reserved
 // ping method is pre-registered.
 func NewServer(ctx *core.AppContext) *Server {
-	s := &Server{ctx: ctx, handlers: make(map[string]Handler)}
-	s.handlers[pingMethod] = func(Args) (any, error) { return "pong", nil }
-	return s
+	// Capacity 6 covers ping plus the handful of methods the bundled
+	// protocols register (pastry's five is the widest); an outlier grows.
+	return &Server{ctx: ctx, ins: &noInstruments, handlers: append(make([]namedHandler, 0, 6), namedHandler{pingMethod, pingHandler})}
 }
 
 // Register installs a handler under name, replacing any previous one. It
 // is safe to call while the server is serving.
 func (s *Server) Register(name string, h Handler) {
 	s.mu.Lock()
-	s.handlers[name] = h
+	for i := range s.handlers {
+		if s.handlers[i].name == name {
+			s.handlers[i].h = h
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.handlers = append(s.handlers, namedHandler{name, h})
 	s.mu.Unlock()
 }
 
 // handler looks up a method under the read lock.
 func (s *Server) handler(name string) (Handler, bool) {
 	s.mu.RLock()
-	h, ok := s.handlers[name]
-	s.mu.RUnlock()
-	return h, ok
+	defer s.mu.RUnlock()
+	for i := range s.handlers {
+		if s.handlers[i].name == name {
+			return s.handlers[i].h, true
+		}
+	}
+	return nil, false
 }
 
 // Start listens on port (the paper's rpc.server(n.port)) and serves calls
@@ -208,6 +234,28 @@ func (s *Server) Start(port int) error {
 	}
 	s.ln = ln
 	s.ctx.Track(ln)
+	if el, ok := ln.(transport.EventListener); ok {
+		// Event-driven accept: same spawn here, same one-event wake per
+		// arrival, but no goroutine parked per idle listener. See
+		// eventloop.go for why this cannot move a schedule.
+		var drain func()
+		drain = func() {
+			for {
+				c, err := el.TryAccept()
+				if err != nil {
+					return
+				}
+				if c == nil {
+					el.OnAcceptable(drain)
+					return
+				}
+				s.ctx.Track(c)
+				s.serveConnEvent(c)
+			}
+		}
+		s.ctx.Go(drain)
+		return nil
+	}
 	s.ctx.Go(func() {
 		var conn transport.Conn
 		var aerr error
@@ -249,7 +297,8 @@ func (s *Server) serveConn(conn transport.Conn) {
 	defer conn.Close()
 	conn = s.ins.meter(conn)
 	dec := llenc.NewReader(conn)
-	cw := newReplyWriter(llenc.NewWriter(conn))
+	cw := new(replyWriter)
+	cw.init(conn)
 	var payload []byte
 	var err error
 	read := func() { payload, err = dec.ReadMessage() }
@@ -260,56 +309,118 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err != nil {
 			return
 		}
-		s.ins.Served.Inc()
-		var id uint64
-		var h Handler
-		var hok bool
-		var method string
-		var args Args
-		if req, ok := parseRequest(payload); ok {
-			id = req.ID
-			s.mu.RLock()
-			h, hok = s.handlers[string(req.RawMethod)] // non-allocating lookup
-			s.mu.RUnlock()
-			if !hok {
-				method = string(req.RawMethod)
-			}
-			args = newArgsRaw(req.RawArgs)
-		} else {
-			// encoding/json fallback: frames the fast parser declined
-			// (escaped method names, odd whitespace, hostile input).
-			var req struct {
-				ID     uint64          `json:"id"`
-				Method string          `json:"m"`
-				Args   json.RawMessage `json:"a"`
-			}
-			if err := json.Unmarshal(payload, &req); err != nil {
-				return // framing is broken; drop the connection
-			}
-			if len(req.Args) > 0 {
-				var elems []json.RawMessage
-				if err := json.Unmarshal(req.Args, &elems); err != nil {
-					s.reply(cw, response{ID: req.ID, Err: "rpc: malformed arguments"})
-					continue
-				}
-				args = newArgsSplit(elems)
-			}
-			id, method = req.ID, req.Method
-			h, hok = s.handler(method)
+		if !s.dispatch(payload, cw, true) {
+			return
 		}
-		if !hok {
-			args.release()
-			s.reply(cw, response{ID: id, Err: fmt.Sprintf("rpc: unknown method %q", method)})
-			continue
-		}
-		// Handlers run as their own task so they may block; the connection
-		// keeps serving other requests meanwhile. The dispatch rides a
-		// pooled job (one closure per pooled object, ever) so steady-state
-		// serving allocates no per-request bookkeeping.
-		j := jobPool.Get().(*reqJob)
-		j.s, j.cw, j.id, j.h, j.args = s, cw, id, h, args
-		s.ctx.Go(j.run)
 	}
+}
+
+// serverConn is the whole per-connection state of an event-served
+// connection: frame reader, reply writer and framing encoder embedded
+// by value, so an idle served connection costs one allocation instead
+// of one per layer. It is the server side's frameSink.
+type serverConn struct {
+	s    *Server
+	conn transport.Conn
+	cw   replyWriter
+	fr   frameReader
+}
+
+// serveConnEvent is serveConn for EventConn transports: the same spawn
+// event installs a frame reader instead of parking a loop task, so an
+// idle served connection holds no goroutine. Frame processing is shared
+// with serveConn (dispatch), keeping both forms schedule-identical.
+func (s *Server) serveConnEvent(raw transport.Conn) {
+	sc := &serverConn{s: s, conn: raw}
+	s.ctx.Go(sc.start)
+}
+
+func (sc *serverConn) start() {
+	conn := sc.s.ins.meter(sc.conn)
+	sc.conn = conn
+	sc.cw.init(conn)
+	sc.fr.init(conn.(transport.EventConn), sc) // meter preserves EventConn
+	sc.fr.drain()
+}
+
+func (sc *serverConn) onFrame(payload []byte) bool {
+	return sc.s.dispatch(payload, &sc.cw, false)
+}
+
+func (sc *serverConn) onEnd(error) { sc.conn.Close() }
+
+// dispatch processes one request frame and reports whether the
+// connection should keep serving. inline marks a task-based caller that
+// may write error replies itself; event callbacks cannot block, so they
+// spawn a task for those rare frames (unknown method, malformed
+// arguments — paths no healthy protocol traffic takes).
+func (s *Server) dispatch(payload []byte, cw *replyWriter, inline bool) bool {
+	s.ins.Served.Inc()
+	var id uint64
+	var h Handler
+	var hok bool
+	var method string
+	var args Args
+	if req, ok := parseRequest(payload); ok {
+		id = req.ID
+		s.mu.RLock()
+		for i := range s.handlers {
+			if s.handlers[i].name == string(req.RawMethod) { // non-allocating compare
+				h, hok = s.handlers[i].h, true
+				break
+			}
+		}
+		s.mu.RUnlock()
+		if !hok {
+			method = string(req.RawMethod)
+		}
+		args = newArgsRaw(req.RawArgs)
+	} else {
+		// encoding/json fallback: frames the fast parser declined
+		// (escaped method names, odd whitespace, hostile input).
+		var req struct {
+			ID     uint64          `json:"id"`
+			Method string          `json:"m"`
+			Args   json.RawMessage `json:"a"`
+		}
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return false // framing is broken; drop the connection
+		}
+		if len(req.Args) > 0 {
+			var elems []json.RawMessage
+			if err := json.Unmarshal(req.Args, &elems); err != nil {
+				s.errReply(cw, response{ID: req.ID, Err: "rpc: malformed arguments"}, inline)
+				return true
+			}
+			args = newArgsSplit(elems)
+		}
+		id, method = req.ID, req.Method
+		h, hok = s.handler(method)
+	}
+	if !hok {
+		args.release()
+		s.errReply(cw, response{ID: id, Err: fmt.Sprintf("rpc: unknown method %q", method)}, inline)
+		return true
+	}
+	// Handlers run as their own task so they may block; the connection
+	// keeps serving other requests meanwhile. The dispatch rides a
+	// pooled job (one closure per pooled object, ever) so steady-state
+	// serving allocates no per-request bookkeeping.
+	j := jobPool.Get().(*reqJob)
+	j.s, j.cw, j.id, j.h, j.args = s, cw, id, h, args
+	s.ctx.Go(j.run)
+	return true
+}
+
+// errReply writes a server-side error response: inline on a task-based
+// caller, via a spawned task from an event callback (which must not
+// block in the reply writer).
+func (s *Server) errReply(cw *replyWriter, resp response, inline bool) {
+	if inline {
+		s.reply(cw, resp)
+		return
+	}
+	s.ctx.Go(func() { s.reply(cw, resp) })
 }
 
 // reqJob carries one dispatched request into its handler task.
@@ -366,27 +477,29 @@ func (j *reqJob) exec() {
 // receiver cannot stall the instance's other tasks or deadlock against
 // its read loop.
 type replyWriter struct {
-	enc        *llenc.Writer
-	writeBatch func() // encodes wbatch; run under ctx.Blocking
+	enc        llenc.Writer
+	writeBatch func() // flushBatch, bound once; run under ctx.Blocking
 
 	mu       sync.Mutex
 	queue    []response
-	spare    []response // recycled batch backing
 	wbatch   []response // the flusher's current batch (flusher-only)
 	flushing bool
 }
 
-func newReplyWriter(enc *llenc.Writer) *replyWriter {
-	cw := &replyWriter{enc: enc}
-	cw.writeBatch = func() {
-		for i := range cw.wbatch {
-			// A dead conn is detected by the read loop; later frames
-			// just fail the same way.
-			cw.enc.Encode(&cw.wbatch[i]) //nolint:errcheck
-			cw.wbatch[i] = response{}    // drop Result references
-		}
+// init points the writer at conn; the zero replyWriter embeds by value
+// in per-connection state (serverConn) with no allocation of its own.
+func (cw *replyWriter) init(conn transport.Conn) {
+	cw.enc.Reset(conn)
+	cw.writeBatch = cw.flushBatch
+}
+
+func (cw *replyWriter) flushBatch() {
+	for i := range cw.wbatch {
+		// A dead conn is detected by the read loop; later frames
+		// just fail the same way.
+		cw.enc.Encode(&cw.wbatch[i]) //nolint:errcheck
+		cw.wbatch[i] = response{}    // drop Result references
 	}
-	return cw
 }
 
 func (s *Server) reply(cw *replyWriter, resp response) {
@@ -397,15 +510,20 @@ func (s *Server) reply(cw *replyWriter, resp response) {
 		return
 	}
 	cw.flushing = true
+	var spare []response // recycled batch backing, scoped to this busy period
 	for len(cw.queue) > 0 {
 		cw.wbatch = cw.queue
-		cw.queue = cw.spare[:0]
+		cw.queue = spare[:0]
 		cw.mu.Unlock()
 		s.ctx.Blocking(cw.writeBatch)
 		cw.mu.Lock()
-		cw.spare = cw.wbatch[:0]
+		spare = cw.wbatch[:0]
 		cw.wbatch = nil
 	}
 	cw.flushing = false
+	// Drop the backing between busy periods: at memory-plane scale the
+	// per-connection high-water batch capacity dwarfs the occasional
+	// re-allocation when the next burst arrives.
+	cw.queue = nil
 	cw.mu.Unlock()
 }

@@ -84,11 +84,25 @@ type Kernel struct {
 	events  uint64        // total events executed, for stats
 	halted  bool
 
-	freeEvents    *event
-	freeTasks     *task
-	freeTaskCount int
-	freeWaiters   *Waiter
+	freeEvents      *event
+	freeEventCount  int
+	freeTasks       *task
+	freeTaskCount   int
+	freeWaiters     *Waiter
+	freeWaiterCount int
 }
+
+// maxFreeEvents and maxFreeWaiters bound the recycling pools. Startup
+// bursts (a whole population joining at once) push the in-flight event
+// count far above steady state; an unbounded free list would pin that
+// high-water mark for the rest of the run, which at memory-plane scale
+// is megabytes per sub-kernel. Excess objects are simply dropped to the
+// garbage collector — pool occupancy never affects event order, so
+// schedules (and goldens) are unchanged.
+const (
+	maxFreeEvents  = 2048
+	maxFreeWaiters = 1024
+)
 
 // NewKernel returns a kernel with its clock set to Epoch.
 func NewKernel() *Kernel {
@@ -111,6 +125,7 @@ func (k *Kernel) Tasks() int { return k.tasks }
 func (k *Kernel) alloc() *event {
 	if e := k.freeEvents; e != nil {
 		k.freeEvents = e.next
+		k.freeEventCount--
 		e.next = nil
 		return e
 	}
@@ -128,8 +143,12 @@ func (k *Kernel) free(e *event) {
 	e.w = nil
 	e.wgen = 0
 	e.v = nil
+	if k.freeEventCount >= maxFreeEvents {
+		return // drop to the GC; see maxFreeEvents
+	}
 	e.next = k.freeEvents
 	k.freeEvents = e
+	k.freeEventCount++
 }
 
 // push enqueues e at virtual time atNS (clamped to now) and assigns its
@@ -447,6 +466,7 @@ type Waiter struct {
 func (k *Kernel) NewWaiter() *Waiter {
 	if w := k.freeWaiters; w != nil {
 		k.freeWaiters = w.next
+		k.freeWaiterCount--
 		w.next = nil
 		return w
 	}
@@ -462,8 +482,12 @@ func (k *Kernel) freeWaiter(w *Waiter) {
 	w.task = nil
 	w.value = nil
 	w.timer = Timer{}
+	if k.freeWaiterCount >= maxFreeWaiters {
+		return // drop to the GC; see maxFreeWaiters
+	}
 	w.next = k.freeWaiters
 	k.freeWaiters = w
+	k.freeWaiterCount++
 }
 
 // WaiterRef is a generation-stamped reference to a Waiter. Wakes through a

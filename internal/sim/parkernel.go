@@ -49,6 +49,12 @@ type ParKernel struct {
 	wchans  []chan int64
 	wcounts []uint64
 	wg      sync.WaitGroup
+
+	// barrierHook, when set, runs on the coordinator between lookahead
+	// windows — after the barrier merge, before the next round starts. It
+	// must not touch simulation state; the memory plane points it at a
+	// footprint accountant's Observe. Nil (the default) costs nothing.
+	barrierHook func()
 }
 
 // xev is a cross-partition event in flight: produced by one partition during
@@ -134,6 +140,13 @@ func (pk *ParKernel) Workers() int { return pk.workers }
 
 // Lookahead returns the conservative lookahead window.
 func (pk *ParKernel) Lookahead() time.Duration { return time.Duration(pk.lookNS) }
+
+// SetBarrierHook installs fn to run between lookahead windows, on the
+// coordinator, outside every partition's event execution. Hooks observe
+// (memory statistics, wall-clock progress) — they must not schedule
+// events or touch partition state, and they never run on single-partition
+// kernels (which have no barriers). Nil clears the hook.
+func (pk *ParKernel) SetBarrierHook(fn func()) { pk.barrierHook = fn }
 
 // Go starts fn as a cooperative task on partition part at that partition's
 // current virtual time.
@@ -264,6 +277,9 @@ func (pk *ParKernel) run(limitNS int64, bounded bool) uint64 {
 			if s.halted {
 				pk.halted = true
 			}
+		}
+		if pk.barrierHook != nil {
+			pk.barrierHook()
 		}
 	}
 	// Posts from the final round are future events: queue them for the next

@@ -9,27 +9,32 @@ import (
 )
 
 // pipe is one direction of a stream connection: bytes in flight toward, or
-// buffered at, the destination host.
+// buffered at, the destination host. Pipes live in per-partition arenas at
+// one per connection direction, so the struct is kept compact: virtual
+// times are int64 nanoseconds since sim.Epoch (a third the size of
+// time.Time) and cursors are int32.
 type pipe struct {
-	nw  *Network
 	dst *Host
 
 	segs   [][]byte // delivered, unread segments; a ring over one backing array
-	head   int      // index of the first unread segment
-	off    int      // read offset into segs[head]
+	head   int32    // index of the first unread segment
+	off    int32    // read offset into segs[head]
 	eof    bool     // write end closed and EOF delivered
-	err    error    // connection reset
 	frozen bool     // blackholed: drop deliveries, never notify readers
+	err    error    // connection reset
 
-	reader      *sim.Waiter // parked reader, if any
-	lastDeliver time.Time   // FIFO floor for future deliveries
+	reader        *sim.Waiter // parked reader, if any
+	onReadable    func()      // armed event-driven reader (EventConn), if any
+	lastDeliverNS int64       // FIFO floor for future deliveries, ns since Epoch
 }
 
 func (p *pipe) deliverTime(t time.Time) time.Time {
-	if t.Before(p.lastDeliver) {
-		t = p.lastDeliver
+	ns := int64(t.Sub(sim.Epoch))
+	if ns < p.lastDeliverNS {
+		ns = p.lastDeliverNS
+		t = sim.Epoch.Add(time.Duration(ns))
 	}
-	p.lastDeliver = t
+	p.lastDeliverNS = ns
 	return t
 }
 
@@ -38,7 +43,7 @@ func (p *pipe) deliverData(data []byte) {
 		p.dst.np().putBuf(data) // dropped: the payload buffer is free again
 		return
 	}
-	if p.head == len(p.segs) {
+	if int(p.head) == len(p.segs) {
 		// Everything delivered so far was consumed: rewind onto the
 		// same backing array instead of appending forever.
 		p.segs = p.segs[:0]
@@ -49,7 +54,7 @@ func (p *pipe) deliverData(data []byte) {
 }
 
 // unread reports whether the pipe holds delivered, unconsumed segments.
-func (p *pipe) unread() bool { return p.head < len(p.segs) }
+func (p *pipe) unread() bool { return int(p.head) < len(p.segs) }
 
 func (p *pipe) deliverEOF() {
 	if p.eof || p.err != nil || p.frozen {
@@ -67,30 +72,49 @@ func (p *pipe) fail(err error) {
 	p.wakeReader()
 }
 
+// wakeReader wakes whichever reader is attached: a parked task's waiter,
+// or an armed event-driven callback. Both paths cost exactly one kernel
+// event (one alloc + one push at the current instant), so swapping a
+// task-based reader for an event-driven one cannot move any simulation
+// schedule — the pinned golden event orders see the same sequence
+// numbers either way.
 func (p *pipe) wakeReader() {
 	if p.reader != nil {
 		w := p.reader
 		p.reader = nil
 		w.Wake(nil)
+		return
+	}
+	if p.onReadable != nil {
+		cb := p.onReadable
+		p.onReadable = nil
+		p.dst.kern().AfterFunc(0, cb)
 	}
 }
 
-// conn is one endpoint of a simulated stream connection.
+// conn is one endpoint of a simulated stream connection. Like pipe it is
+// arena-backed and population-scaled, so only ports are stored — the
+// endpoint addresses are derived from the host pointers on the rare
+// LocalAddr/RemoteAddr call — and the read deadline is int64 nanoseconds.
 type conn struct {
 	h        *Host
 	peerHost *Host
-	local    transport.Addr
-	remote   transport.Addr
 
 	rd *pipe // data flowing toward us
 	wr *pipe // data flowing toward the peer
 
-	seq      int // creation order; fault-plane resets replay in seq order
-	closed   bool
-	deadline time.Time
+	seq        int   // creation order; fault-plane resets replay in seq order
+	lport      int32 // local port
+	rport      int32 // remote port
+	closed     bool
+	deadlineNS int64 // read deadline, ns since Epoch; 0 = none
 }
 
-var _ transport.Conn = (*conn)(nil)
+var (
+	_ transport.Conn          = (*conn)(nil)
+	_ transport.EventConn     = (*conn)(nil)
+	_ transport.EventListener = (*listener)(nil)
+)
 
 // newConnPair wires two endpoints together and registers them with their
 // hosts so machine failures can reset them. It always runs on the accepting
@@ -104,13 +128,15 @@ func newConnPair(lh *Host, laddr transport.Addr, rh *Host, raddr transport.Addr)
 	nw := lh.nw
 	pt := rh.np()
 	toRemote := pt.pipes.Get()
-	toRemote.nw, toRemote.dst = nw, rh
+	toRemote.dst = rh
 	toLocal := pt.pipes.Get()
-	toLocal.nw, toLocal.dst = nw, lh
+	toLocal.dst = lh
 	cl := pt.conns.Get()
 	cr := pt.conns.Get()
-	cl.h, cl.peerHost, cl.local, cl.remote, cl.rd, cl.wr = lh, rh, laddr, raddr, toLocal, toRemote
-	cr.h, cr.peerHost, cr.local, cr.remote, cr.rd, cr.wr = rh, lh, raddr, laddr, toRemote, toLocal
+	cl.h, cl.peerHost, cl.rd, cl.wr = lh, rh, toLocal, toRemote
+	cl.lport, cl.rport = int32(laddr.Port), int32(raddr.Port)
+	cr.h, cr.peerHost, cr.rd, cr.wr = rh, lh, toRemote, toLocal
+	cr.lport, cr.rport = int32(raddr.Port), int32(laddr.Port)
 	parts := len(nw.parts)
 	base := pt.connSeq
 	pt.connSeq += 2
@@ -123,13 +149,21 @@ func newConnPair(lh *Host, laddr transport.Addr, rh *Host, raddr transport.Addr)
 	return cl, cr
 }
 
-func (c *conn) LocalAddr() transport.Addr  { return c.local }
-func (c *conn) RemoteAddr() transport.Addr { return c.remote }
+func (c *conn) LocalAddr() transport.Addr {
+	return transport.Addr{Host: c.h.Host(), Port: int(c.lport)}
+}
+func (c *conn) RemoteAddr() transport.Addr {
+	return transport.Addr{Host: c.peerHost.Host(), Port: int(c.rport)}
+}
 
 // SetReadDeadline implements transport.Conn. The deadline applies to Read
 // calls made after it is set.
 func (c *conn) SetReadDeadline(t time.Time) error {
-	c.deadline = t
+	if t.IsZero() {
+		c.deadlineNS = 0
+		return nil
+	}
+	c.deadlineNS = int64(t.Sub(sim.Epoch))
 	return nil
 }
 
@@ -141,8 +175,8 @@ func (c *conn) Read(b []byte) (int, error) {
 		if c.rd.unread() {
 			seg := c.rd.segs[c.rd.head]
 			n := copy(b, seg[c.rd.off:])
-			c.rd.off += n
-			if c.rd.off == len(seg) {
+			c.rd.off += int32(n)
+			if int(c.rd.off) == len(seg) {
 				c.rd.segs[c.rd.head] = nil
 				c.rd.head++
 				c.rd.off = 0
@@ -159,12 +193,12 @@ func (c *conn) Read(b []byte) (int, error) {
 		if c.rd.eof {
 			return 0, io.EOF
 		}
-		if !c.deadline.IsZero() && !k.Now().Before(c.deadline) {
+		if c.deadlineNS != 0 && int64(k.Since()) >= c.deadlineNS {
 			return 0, transport.ErrTimeout
 		}
 		w := k.NewWaiter()
-		if !c.deadline.IsZero() {
-			w.WakeAfter(c.deadline.Sub(k.Now()), transport.ErrTimeout)
+		if c.deadlineNS != 0 {
+			w.WakeAfter(time.Duration(c.deadlineNS-int64(k.Since())), transport.ErrTimeout)
 		}
 		if c.rd.reader != nil {
 			// A second concurrent reader is a protocol bug; fail loudly
@@ -179,6 +213,47 @@ func (c *conn) Read(b []byte) (int, error) {
 			}
 		}
 	}
+}
+
+// TryRead implements transport.EventConn: it copies buffered data like
+// Read but never parks, returning (0, nil) when nothing is available.
+// The branch order mirrors Read exactly — data first, then reset,
+// closed, EOF — so an event-driven reader observes the same verdicts in
+// the same order a task-based one would.
+func (c *conn) TryRead(b []byte) (int, error) {
+	if c.rd.unread() {
+		seg := c.rd.segs[c.rd.head]
+		n := copy(b, seg[c.rd.off:])
+		c.rd.off += int32(n)
+		if int(c.rd.off) == len(seg) {
+			c.rd.segs[c.rd.head] = nil
+			c.rd.head++
+			c.rd.off = 0
+			c.h.np().putBuf(seg) // fully consumed: recycle the payload
+		}
+		return n, nil
+	}
+	if c.rd.err != nil {
+		return 0, c.rd.err
+	}
+	if c.closed {
+		return 0, transport.ErrClosed
+	}
+	if c.rd.eof {
+		return 0, io.EOF
+	}
+	return 0, nil
+}
+
+// OnReadable implements transport.EventConn: it arms cb to run as one
+// kernel event when the connection next has data, EOF, or an error.
+// Arming while a task reader is parked (or vice versa) is a protocol
+// bug, like two concurrent Reads.
+func (c *conn) OnReadable(cb func()) {
+	if c.rd.reader != nil || c.rd.onReadable != nil {
+		panic("simnet: concurrent readers on one connection")
+	}
+	c.rd.onReadable = cb
 }
 
 // Write implements transport.Conn. The calling task blocks (in virtual
@@ -237,7 +312,7 @@ func (c *conn) Close() error {
 		return nil
 	}
 	c.closed = true
-	delete(c.h.conns, c)
+	c.h.removeConn(c)
 	k := c.h.kern()
 	arrive := k.Now().Add(c.h.nw.delay(c.h.id, c.peerHost.id))
 	if c.h.nw.cross(c.h, c.peerHost) {
@@ -256,7 +331,7 @@ func (c *conn) Close() error {
 // immediately (the behaviour of a peer process being killed).
 func (c *conn) reset() {
 	c.closed = true
-	delete(c.h.conns, c)
+	c.h.removeConn(c)
 	c.rd.fail(transport.ErrClosed)
 	if c.h.nw.cross(c.h, c.peerHost) {
 		// The peer's pipe state belongs to its partition; the reset
@@ -277,13 +352,18 @@ func (c *conn) reset() {
 // block until a deadline fires (silent-failure mode).
 func (c *conn) freeze() {
 	c.closed = true
-	delete(c.h.conns, c)
+	c.h.removeConn(c)
 	c.rd.frozen = true
 	c.wr.frozen = true
-	// Wake a parked local reader; it observes the closed connection.
+	// Wake a parked local reader; it observes the closed connection. An
+	// event-driven reader is armed only when its buffer is dry, so the
+	// callback observes the same ErrClosed verdict the waiter value
+	// delivers here.
 	if w := c.rd.reader; w != nil {
 		c.rd.reader = nil
 		w.Wake(transport.ErrClosed)
+	} else {
+		c.rd.wakeReader()
 	}
 }
 
@@ -293,6 +373,7 @@ type listener struct {
 	port    int
 	backlog []*conn
 	waiters []sim.WaiterRef
+	onAcc   func() // armed event-driven acceptor (EventListener), if any
 	closed  bool
 }
 
@@ -316,6 +397,33 @@ func (l *listener) deliver(c *conn) {
 		}
 	}
 	l.backlog = append(l.backlog, c)
+	if l.onAcc != nil {
+		// One kernel event, exactly like the waiter Wake above, so
+		// event-driven and task-based acceptors are schedule-identical.
+		cb := l.onAcc
+		l.onAcc = nil
+		l.host.kern().AfterFunc(0, cb)
+	}
+}
+
+// TryAccept implements transport.EventListener: it pops a queued
+// connection without parking, returning (nil, nil) when none is waiting.
+func (l *listener) TryAccept() (transport.Conn, error) {
+	if l.closed {
+		return nil, transport.ErrClosed
+	}
+	if len(l.backlog) > 0 {
+		c := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		return c, nil
+	}
+	return nil, nil
+}
+
+// OnAcceptable implements transport.EventListener: cb runs as one kernel
+// event when the next connection arrives or the listener closes.
+func (l *listener) OnAcceptable(cb func()) {
+	l.onAcc = cb
 }
 
 // Accept implements transport.Listener.
@@ -346,7 +454,7 @@ func (l *listener) Close() error {
 		return nil
 	}
 	l.close()
-	delete(l.host.listeners, l.port)
+	l.host.removeListener(l)
 	return nil
 }
 
@@ -356,6 +464,13 @@ func (l *listener) close() {
 		r.Wake(transport.ErrClosed)
 	}
 	l.waiters = nil
+	if l.onAcc != nil {
+		// The event-driven acceptor learns of the close the same way a
+		// parked one does: one wake, then TryAccept reports ErrClosed.
+		cb := l.onAcc
+		l.onAcc = nil
+		l.host.kern().AfterFunc(0, cb)
+	}
 	for _, c := range l.backlog {
 		c.reset()
 	}

@@ -99,7 +99,7 @@ func (d *delivery) fire() {
 		d.pipe.deliverEOF()
 	case dlvDgram:
 		pt = d.to.np()
-		if dst, ok := d.to.packets[d.port]; ok && !dst.closed && !d.to.down {
+		if dst := d.to.packetOn(d.port); dst != nil && !dst.closed && !d.to.down {
 			dst.deliver(dgram{data: d.data, from: d.from})
 		} else {
 			pt.putBuf(d.data) // dead port swallows the datagram

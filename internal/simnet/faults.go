@@ -29,7 +29,7 @@ func (nw *Network) Partition(sideB []bool) {
 	}
 	var crossing []*conn
 	for _, h := range nw.hosts {
-		for c := range h.conns {
+		for _, c := range h.conns {
 			if nw.cut(c.h.id, c.peerHost.id) {
 				crossing = append(crossing, c)
 			}

@@ -146,7 +146,7 @@ func (p *packetConn) Close() error {
 		return nil
 	}
 	p.close()
-	delete(p.host.packets, p.port)
+	p.host.removePacket(p)
 	return nil
 }
 

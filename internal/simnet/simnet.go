@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 
 	"github.com/splaykit/splay/internal/arena"
 	"github.com/splaykit/splay/internal/sim"
@@ -299,6 +300,22 @@ func (nw *Network) assertUnpartitioned(op string) {
 	}
 }
 
+// FootprintBytes reports the long-lived heap the network layer holds —
+// the host slab, the connection and pipe arenas, and the payload buffer
+// pools — for the memory plane's accountant. It only reads sizes, so
+// sampling it never perturbs a schedule.
+func (nw *Network) FootprintBytes() uint64 {
+	b := uint64(len(nw.slab)) * uint64(unsafe.Sizeof(Host{}))
+	for i := range nw.parts {
+		pt := &nw.parts[i]
+		b += pt.conns.Bytes() + pt.pipes.Bytes()
+		for _, buf := range pt.freeBuf {
+			b += uint64(cap(buf))
+		}
+	}
+	return b
+}
+
 // Host returns host i.
 func (nw *Network) Host(i int) *Host { return nw.hosts[i] }
 
@@ -357,9 +374,13 @@ type Host struct {
 	id   int
 	part int // owning kernel partition; 0 on single-kernel networks
 
-	listeners map[int]*listener
-	packets   map[int]*packetConn
-	conns     map[*conn]struct{}
+	// Sockets are short slices, not maps: a host owns a handful of
+	// listeners and packet conns and around a dozen stream conns, and at
+	// memory-plane populations per-host map headers and buckets dominate
+	// the entries they hold. All scans are linear over those few items.
+	listeners []*listener
+	packets   []*packetConn
+	conns     []*conn
 	nextEphem int
 
 	upFree   time.Time // uplink busy until
@@ -386,10 +407,66 @@ func (h *Host) kern() *sim.Kernel { return h.nw.parts[h.part].k }
 func (h *Host) np() *netPart { return &h.nw.parts[h.part] }
 
 func (h *Host) addConn(c *conn) {
-	if h.conns == nil {
-		h.conns = make(map[*conn]struct{})
+	h.conns = append(h.conns, c)
+}
+
+// removeConn drops c from the host's table (no-op if absent).
+func (h *Host) removeConn(c *conn) {
+	for i := range h.conns {
+		if h.conns[i] == c {
+			last := len(h.conns) - 1
+			copy(h.conns[i:], h.conns[i+1:])
+			h.conns[last] = nil
+			h.conns = h.conns[:last]
+			return
+		}
 	}
-	h.conns[c] = struct{}{}
+}
+
+// listenerOn returns the listener bound to port, or nil.
+func (h *Host) listenerOn(port int) *listener {
+	for _, l := range h.listeners {
+		if l.port == port {
+			return l
+		}
+	}
+	return nil
+}
+
+// removeListener drops l from the host's table (no-op if absent).
+func (h *Host) removeListener(l *listener) {
+	for i := range h.listeners {
+		if h.listeners[i] == l {
+			last := len(h.listeners) - 1
+			copy(h.listeners[i:], h.listeners[i+1:])
+			h.listeners[last] = nil
+			h.listeners = h.listeners[:last]
+			return
+		}
+	}
+}
+
+// packetOn returns the packet socket bound to port, or nil.
+func (h *Host) packetOn(port int) *packetConn {
+	for _, p := range h.packets {
+		if p.port == port {
+			return p
+		}
+	}
+	return nil
+}
+
+// removePacket drops p from the host's table (no-op if absent).
+func (h *Host) removePacket(p *packetConn) {
+	for i := range h.packets {
+		if h.packets[i] == p {
+			last := len(h.packets) - 1
+			copy(h.packets[i:], h.packets[i+1:])
+			h.packets[last] = nil
+			h.packets = h.packets[:last]
+			return
+		}
+	}
 }
 
 // Down reports whether the machine is currently failed.
@@ -414,7 +491,11 @@ func (h *Host) SetDown(down bool) {
 	for _, p := range h.packets {
 		p.close()
 	}
-	for c := range h.conns {
+	// Detach the table first: reset/freeze call removeConn, which must
+	// not shift the backing array out from under this iteration.
+	conns := h.conns
+	h.conns = nil
+	for _, c := range conns {
 		if h.nw.silent {
 			c.freeze()
 		} else {
@@ -423,7 +504,6 @@ func (h *Host) SetDown(down bool) {
 	}
 	h.listeners = nil
 	h.packets = nil
-	h.conns = nil
 }
 
 // ephemeralPort returns a free port in [40000, 65000]. It scans the range at
@@ -437,10 +517,10 @@ func (h *Host) ephemeralPort() (int, error) {
 		if h.nextEphem > hi {
 			h.nextEphem = lo
 		}
-		if _, ok := h.listeners[p]; ok {
+		if h.listenerOn(p) != nil {
 			continue
 		}
-		if _, ok := h.packets[p]; ok {
+		if h.packetOn(p) != nil {
 			continue
 		}
 		return p, nil
@@ -460,14 +540,11 @@ func (h *Host) Listen(port int) (transport.Listener, error) {
 		}
 		port = p
 	}
-	if _, ok := h.listeners[port]; ok {
+	if h.listenerOn(port) != nil {
 		return nil, fmt.Errorf("simnet: %s port %d: address already in use", h.Host(), port)
 	}
 	l := &listener{host: h, port: port}
-	if h.listeners == nil {
-		h.listeners = make(map[int]*listener)
-	}
-	h.listeners[port] = l
+	h.listeners = append(h.listeners, l)
 	return l, nil
 }
 
@@ -483,14 +560,11 @@ func (h *Host) ListenPacket(port int) (transport.PacketConn, error) {
 		}
 		port = p
 	}
-	if _, ok := h.packets[port]; ok {
+	if h.packetOn(port) != nil {
 		return nil, fmt.Errorf("simnet: %s udp port %d: address already in use", h.Host(), port)
 	}
 	p := &packetConn{host: h, port: port}
-	if h.packets == nil {
-		h.packets = make(map[int]*packetConn)
-	}
-	h.packets[port] = p
+	h.packets = append(h.packets, p)
 	return p, nil
 }
 
@@ -555,8 +629,8 @@ func (h *Host) Dial(to transport.Addr, timeout time.Duration) (transport.Conn, e
 		if h.nw.cut(h.id, remote.id) {
 			return // partitioned: same blackhole, the dialer times out
 		}
-		l, ok := remote.listeners[to.Port]
-		if !ok || remote.down {
+		l := remote.listenerOn(to.Port)
+		if l == nil || remote.down {
 			remote.np().stats.RefusedDials++
 			h.nw.ins.RefusedDials.Inc()
 			verdict(func() { ref.Wake(transport.ErrRefused) })

@@ -89,6 +89,33 @@ type Conn interface {
 	SetReadDeadline(t time.Time) error
 }
 
+// EventConn is an optional Conn extension for event-driven readers.
+// Instead of parking a task inside Read, a reader drains buffered data
+// with TryRead and arms a one-shot OnReadable callback when it runs dry;
+// the transport invokes the callback (on its scheduler) when data, EOF,
+// or an error next arrives. The simulated network implements it so that
+// an idle connection costs no parked goroutine; the wake-up consumes
+// exactly one scheduler event either way, which keeps event-driven and
+// task-based readers schedule-identical in simulation.
+//
+// TryRead never blocks: it returns (0, nil) when nothing is buffered.
+// OnReadable must only be armed while no Read is outstanding, and the
+// callback must not block (it may hand off to a task).
+type EventConn interface {
+	Conn
+	TryRead(p []byte) (int, error)
+	OnReadable(cb func())
+}
+
+// EventListener is the accept-side analogue of EventConn: TryAccept
+// returns (nil, nil) when no connection is queued, and OnAcceptable arms
+// a one-shot callback for the next arrival (or listener close).
+type EventListener interface {
+	Listener
+	TryAccept() (Conn, error)
+	OnAcceptable(cb func())
+}
+
 // Listener accepts incoming stream connections.
 type Listener interface {
 	// Accept blocks until a connection arrives or the listener is closed.

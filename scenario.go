@@ -121,9 +121,13 @@ type Scenario struct {
 	// Workers sets how many OS threads may drive a simulated testbed's
 	// kernel. It is a performance knob only: a scenario's result is a
 	// pure function of Seed and the scenario itself, never of Workers or
-	// GOMAXPROCS (invariant 9, DESIGN.md). Scenario testbeds currently
-	// provision a single kernel partition, so extra workers are parked;
-	// partitioned testbeds (see simnet.NewPartitioned) put them to work.
+	// GOMAXPROCS (invariant 9, DESIGN.md). Plain scenarios at large
+	// populations provision a sharded kernel — the partition count comes
+	// from autoParts, a pure function of the host population, so the
+	// schedule can never depend on Workers — and 0 gives every partition
+	// its own thread. Small populations and scenarios with collection,
+	// faults or assertions run a single partition, where extra workers
+	// are parked.
 	Workers int
 }
 
@@ -137,7 +141,7 @@ type Session struct {
 	live bool
 
 	k      *sim.Kernel
-	pk     *sim.ParKernel // owns k as its only partition (simulated testbeds)
+	pk     *sim.ParKernel // drives k (partition 0) plus any further partitions (simulated testbeds)
 	nw     *simnet.Network
 	netIns simnet.Instruments
 	hasNet bool
@@ -235,9 +239,10 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	if seed == 0 {
 		seed = 2009
 	}
-	s := &Session{sc: sc, seed: seed, pk: sim.NewParKernel(1, sc.Workers, 0)}
-	s.k = s.pk.Sub(0)
+	s := &Session{sc: sc, seed: seed}
 	if sc.Churn.Enabled() {
+		s.pk = sim.NewParKernel(1, sc.Workers, 0)
+		s.k = s.pk.Sub(0)
 		return sc.startSimChurn(s, tb)
 	}
 
@@ -249,11 +254,48 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	total := tb.daemons + 1 + mon
 	s.nHosts = total
 	model, proc := tb.build(total, seed)
-	nw := simnet.New(s.k, model, total, seed)
+
+	// Partition count: a pure function of the host population (never of
+	// Workers — invariant 9), restricted to plain scenarios. Collection,
+	// logging, faults and assertions keep their established
+	// single-partition planes: the aggregator, fault actuators and shared
+	// loggers all assume one kernel owns every host.
+	parts := 1
+	lookahead := time.Duration(0)
+	if !collecting && sc.Collect.Logs == nil && sc.Faults.Empty() && len(sc.Assert) == 0 {
+		if p := autoParts(total); p > 1 {
+			if md, ok := model.(simnet.MinDelayModel); ok && md.MinDelay() > 0 {
+				parts, lookahead = p, md.MinDelay()
+			}
+		}
+	}
+	workers := sc.Workers
+	if workers == 0 {
+		workers = parts // auto: one thread per partition
+	}
+	s.pk = sim.NewParKernel(parts, workers, lookahead)
+	s.k = s.pk.Sub(0)
+	var nw *simnet.Network
+	if parts > 1 {
+		var err error
+		nw, err = simnet.NewPartitioned(s.pk, model, total, seed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nw = simnet.New(s.k, model, total, seed)
+	}
 	if proc != nil {
 		nw.SetProcDelay(proc)
 	}
-	rt := core.NewSimRuntime(s.k, seed)
+	// One runtime per partition, seeded like the sharded experiments
+	// (runChordPar): partition 0 draws the plain seed, so single-partition
+	// scenarios keep their exact historical schedules.
+	rts := make([]*core.SimRuntime, parts)
+	for p := range rts {
+		rts[p] = core.NewSimRuntime(s.pk.Sub(p), seed+int64(p))
+	}
+	rt := rts[0]
 	s.nw, s.rt = nw, rt
 
 	var dmnIns daemon.Instruments
@@ -278,7 +320,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 				agg.Authorize(key)
 			}
 		})
-		s.k.Run()
+		s.pk.Run()
 		if agg == nil {
 			return nil, errors.New("splay: aggregator failed to start")
 		}
@@ -352,6 +394,11 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	base := 1 + mon
 	for i := base; i < base+tb.daemons; i++ {
 		host := i
+		// A daemon lives on its host's kernel partition with that
+		// partition's runtime; with one partition this is the plain
+		// historical wiring.
+		part := nw.Host(host).Part()
+		drt := rts[part]
 		dcfg := daemon.DefaultConfig(simnet.HostName(host))
 		if !sc.Faults.Empty() {
 			// Fault-plane sessions survive their own faults: daemons
@@ -359,7 +406,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 			dcfg.Reconnect = true
 		}
 		mk := func() *daemon.Daemon {
-			d := daemon.New(rt, nw.Node(host), reg, dcfg, lg)
+			d := daemon.New(drt, nw.Node(host), reg, dcfg, lg)
 			if collecting {
 				d.SetInstruments(dmnIns)
 			}
@@ -367,7 +414,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 		}
 		d := mk()
 		s.slots = append(s.slots, &daemonSlot{host: host, name: dcfg.Name, mk: mk, d: d})
-		s.k.GoAfter(time.Duration(host)*2*time.Millisecond, func() {
+		s.pk.GoAfter(part, time.Duration(host)*2*time.Millisecond, func() {
 			d.Connect(ctlAddr) //nolint:errcheck // expiry is the monitor's job
 		})
 	}
@@ -377,7 +424,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	if settle <= 0 {
 		settle = 45 * time.Second
 	}
-	s.k.RunFor(settle)
+	s.pk.RunFor(settle)
 	if s.startErr != nil {
 		return nil, s.startErr
 	}
@@ -385,6 +432,27 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 		return nil, fmt.Errorf("splay: only %d/%d daemons connected", got, tb.daemons)
 	}
 	return s, nil
+}
+
+// autoParts picks a simulated testbed's kernel partition count from its
+// host population. It must stay a pure function of that population —
+// never of Workers, GOMAXPROCS or the machine — because partitioning is
+// schedule-visible (hosts land on partitions, cross-partition traffic
+// rides lookahead barriers) while invariant 9 promises results depend
+// only on the scenario itself. Thresholds follow the sharded
+// experiments: a couple thousand hosts fit one event loop comfortably;
+// past that, shards keep the per-loop event rate flat.
+func autoParts(hosts int) int {
+	switch {
+	case hosts >= 32768:
+		return 8
+	case hosts >= 8192:
+		return 4
+	case hosts >= 2048:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // startSimChurn provisions a churn-driven population: no controller —
@@ -716,7 +784,7 @@ func (d *Deployment) Frames() int64 { return d.frames }
 func (d *Deployment) Wait() (*JobStatus, error) {
 	if d.sess.k != nil {
 		for i := 0; i < 30 && !d.finished(); i++ {
-			d.sess.k.RunFor(10 * time.Second)
+			d.sess.pk.RunFor(10 * time.Second)
 		}
 		if !d.finished() {
 			return nil, errors.New("splay: deployment did not finish within the run window")
@@ -735,7 +803,7 @@ func (d *Deployment) Wait() (*JobStatus, error) {
 // sleep live.
 func (s *Session) RunFor(d time.Duration) {
 	if s.k != nil {
-		s.k.RunFor(d)
+		s.pk.RunFor(d)
 	} else {
 		time.Sleep(d)
 	}
@@ -768,6 +836,16 @@ func (s *Session) Now() time.Time { return s.rt.Now() }
 
 // Seed is the resolved random seed.
 func (s *Session) Seed() int64 { return s.seed }
+
+// Partitions reports how many kernel partitions the simulated testbed
+// provisioned (see autoParts); 0 on live testbeds. The count is part of
+// the scenario's schedule; Workers never is.
+func (s *Session) Partitions() int {
+	if s.pk == nil {
+		return 0
+	}
+	return s.pk.Parts()
+}
 
 // Daemons reports the connected daemon population (under churn, the
 // currently alive slot count).
@@ -817,7 +895,7 @@ func (s *Session) StopJob(id string) error {
 		done = true
 	})
 	for i := 0; i < 30 && !done; i++ {
-		s.k.RunFor(10 * time.Second)
+		s.pk.RunFor(10 * time.Second)
 	}
 	if !done {
 		return errors.New("splay: job stop did not finish within the run window")

@@ -175,6 +175,68 @@ func TestScenarioWorkerNeutrality(t *testing.T) {
 	}
 }
 
+// TestScenarioAutoPartition pins the testbed partitioning contract: a
+// plain scenario past the population threshold provisions a sharded
+// kernel (P > 1, chosen from the host count alone), and the choice is
+// schedule-visible only via P — Workers, including 0 for "one thread
+// per partition", never changes a result byte.
+func TestScenarioAutoPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-host population")
+	}
+	t.Parallel()
+	type outcome struct {
+		parts  int
+		state  splay.JobState
+		placed string
+		now    time.Time
+	}
+	runAt := func(workers int) outcome {
+		sc := splay.Scenario{
+			Seed:    13,
+			Workers: workers,
+			Testbed: splay.Uniform(2047, 10*time.Millisecond, 0),
+			Apps: []splay.AppSpec{{
+				Name:  "noop",
+				Nodes: 8,
+				App:   splay.AppFunc(func(env *splay.Env) error { return nil }),
+			}},
+		}
+		sess, err := sc.Start(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		defer sess.Stop()
+		job, err := sess.Deploy(sc.Apps[0]).Wait()
+		if err != nil {
+			t.Fatalf("workers=%d: deploy: %v", workers, err)
+		}
+		sess.RunFor(30 * time.Second)
+		placed := make([]string, 0, len(job.Deployed))
+		for _, a := range job.Deployed {
+			placed = append(placed, fmt.Sprintf("%v", a))
+		}
+		return outcome{
+			parts:  sess.Partitions(),
+			state:  job.State,
+			placed: strings.Join(placed, ","),
+			now:    sess.Now(),
+		}
+	}
+	ref := runAt(0)
+	if ref.parts < 2 {
+		t.Fatalf("partitions = %d at 2048 hosts, want > 1", ref.parts)
+	}
+	if ref.placed == "" {
+		t.Fatal("no instances placed")
+	}
+	for _, w := range []int{1, 4} {
+		if got := runAt(w); got != ref {
+			t.Errorf("Workers=%d changed the result:\n got  %+v\n want %+v", w, got, ref)
+		}
+	}
+}
+
 // TestScenarioChurn replays a small churn script against an inline app
 // and checks starts and kills both happen.
 func TestScenarioChurn(t *testing.T) {
