@@ -60,6 +60,7 @@ func BenchmarkLookup100kSharded(b *testing.B)       { benchExperiment(b, "lookup
 func BenchmarkLookup1mMemoryPlane(b *testing.B)     { benchExperiment(b, "lookup1m", 0.0002) }
 func BenchmarkObsplaneMonitoring(b *testing.B)      { benchExperiment(b, "obsplane", 0.05) }
 func BenchmarkFaultplaneClosedLoop(b *testing.B)    { benchExperiment(b, "faultplane", 0.05) }
+func BenchmarkHostplanePlatform(b *testing.B)       { benchExperiment(b, "hostplane", 0.05) }
 
 // BenchmarkFig8RealMemoryPerInstance measures the actual Go heap consumed
 // per Pastry instance, the companion to Fig. 8's modeled footprint: the
@@ -193,7 +194,7 @@ func BenchmarkKernelThroughput(b *testing.B) {
 func TestBenchTargetsCoverAllExperiments(t *testing.T) {
 	want := []string{"ctlplane", "faultplane", "fig3", "fig4", "fig6a", "fig6b",
 		"fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "lookup10k", "lookup100k", "lookup1m", "obsplane", "tab1"}
+		"fig13", "fig14", "hostplane", "lookup10k", "lookup100k", "lookup1m", "obsplane", "tab1"}
 	have := experiments.IDs()
 	set := map[string]bool{}
 	for _, id := range have {

@@ -7,9 +7,13 @@
 //
 //	splayctl [-port 5555] [-http 8080] [-host 127.0.0.1] [-tls]
 //	         [-metrics-port 5556] [-metrics-key splay]
-//	splayctl [-every 2s] watch http://host:8080
+//	splayctl watch [-every 2s] [-key k -job id] http://host:8080
 //	splayctl faults inject [-kind crash|partition] [-count n] [-fraction f] http://host:8080
 //	splayctl faults heal http://host:8080
+//	splayctl submit -key k [-app chord] [-nodes 10] [-duration 30s] [-wait] http://host:8080
+//	splayctl jobs -key k [-job id] http://host:8080
+//	splayctl kill -key k -job id http://host:8080
+//	splayctl usage -key k -tenant name http://host:8080
 //
 // Submit jobs with the splay CLI or plain HTTP:
 //
@@ -17,7 +21,8 @@
 //
 // Watch mode polls a running splayctl's /metrics endpoint and renders
 // the aggregator's live population view — the in-flight counterpart of
-// the log collector.
+// the log collector. With -job it instead follows one hosted job's
+// lifecycle until it settles.
 //
 // Fault mode drives the controller's live actuators: "inject -kind
 // crash" drops daemon control sessions (daemons started with reconnect
@@ -25,10 +30,18 @@
 // of the population — the controller pushes the blacklist to every
 // daemon, whose sandboxes then refuse traffic to the cut side — and
 // "heal" clears the blacklist.
+//
+// The hosting subcommands (submit, jobs, kill, usage, watch -job)
+// speak to a hosting plane — splayd -host, or any Session.Host
+// handler — as the tenant owning -key. Submissions are serialized
+// Scenarios: built from -app/-nodes/-params/-duration, or shipped
+// verbatim from -file (use "-" for stdin). Every subcommand bounds
+// each HTTP request with -timeout and exits non-zero on any error.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,18 +66,24 @@ func main() {
 	useTLS := flag.Bool("tls", false, "secure daemon connections with TLS")
 	metricsPort := flag.Int("metrics-port", 5556, "metric report port (0 disables the aggregator)")
 	metricsKey := flag.String("metrics-key", "splay", "key metric streams must present")
-	every := flag.Duration("every", 2*time.Second, "watch mode poll interval")
 	flag.Parse()
 
-	if flag.Arg(0) == "watch" {
-		if flag.NArg() < 2 {
-			log.Fatal("splayctl watch: need a controller URL (e.g. http://127.0.0.1:8080)")
+	if cmd := flag.Arg(0); cmd != "" {
+		var err error
+		switch cmd {
+		case "watch":
+			err = watchCmd(flag.Args()[1:])
+		case "faults":
+			err = faultsCmd(flag.Args()[1:])
+		case "submit", "jobs", "kill", "usage":
+			err = hostCmd(cmd, flag.Args()[1:])
+		default:
+			err = fmt.Errorf("unknown command %q (want watch, faults, submit, jobs, kill or usage)", cmd)
 		}
-		watch(flag.Arg(1), *every)
-		return
-	}
-	if flag.Arg(0) == "faults" {
-		faultsCmd(flag.Args()[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "splayctl %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -242,58 +261,103 @@ func main() {
 	}
 }
 
+// postJSON issues one POST bounded by timeout and returns the response
+// body; non-2xx statuses become errors carrying the body.
+func postJSON(url string, body []byte, timeout time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(out)))
+	}
+	return out, nil
+}
+
 // faultsCmd drives a running controller's fault endpoints: inject
 // (crash or partition) and heal.
-func faultsCmd(args []string) {
+func faultsCmd(args []string) error {
 	if len(args) < 1 {
-		log.Fatal("splayctl faults: need an action (inject or heal)")
+		return fmt.Errorf("need an action (inject or heal)")
 	}
 	action, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("faults "+action, flag.ExitOnError)
 	kind := fs.String("kind", "crash", "fault to inject: crash or partition")
 	count := fs.Int("count", 0, "number of daemons to hit")
 	fraction := fs.Float64("fraction", 0, "population fraction to hit (alternative to -count)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	fs.Parse(rest) //nolint:errcheck // ExitOnError
 	url := fs.Arg(0)
 	if url == "" {
-		log.Fatalf("splayctl faults %s: need a controller URL (e.g. http://127.0.0.1:8080)", action)
+		return fmt.Errorf("%s: need a controller URL (e.g. http://127.0.0.1:8080)", action)
 	}
-	var resp *http.Response
+	var out []byte
 	var err error
 	switch action {
 	case "inject":
 		body, _ := json.Marshal(map[string]any{ //nolint:errcheck // static shape
 			"kind": *kind, "count": *count, "fraction": *fraction,
 		})
-		resp, err = http.Post(url+"/faults/inject", "application/json", bytes.NewReader(body))
+		out, err = postJSON(url+"/faults/inject", body, *timeout)
 	case "heal":
-		resp, err = http.Post(url+"/faults/heal", "application/json", nil)
+		out, err = postJSON(url+"/faults/heal", nil, *timeout)
 	default:
-		log.Fatalf("splayctl faults: unknown action %q (want inject or heal)", action)
+		return fmt.Errorf("unknown action %q (want inject or heal)", action)
 	}
 	if err != nil {
-		log.Fatalf("splayctl faults %s: %v", action, err)
-	}
-	defer resp.Body.Close()
-	out, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("splayctl faults %s: %s: %s", action, resp.Status, strings.TrimSpace(string(out)))
+		return fmt.Errorf("%s: %w", action, err)
 	}
 	fmt.Print(string(out))
+	return nil
 }
 
-// watch polls url/metrics and renders the live population view.
-func watch(url string, every time.Duration) {
+// watchCmd polls a controller's /metrics view, or — with -key and
+// -job — one hosted job's lifecycle until it settles.
+func watchCmd(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	every := fs.Duration("every", 2*time.Second, "poll interval")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	key := fs.String("key", "", "tenant key (hosted job watch)")
+	jobID := fs.String("job", "", "hosted job to follow until it settles")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	url := fs.Arg(0)
+	if url == "" {
+		return fmt.Errorf("need a controller URL (e.g. http://127.0.0.1:8080)")
+	}
+	if *jobID != "" {
+		return watchJob(url, *key, *jobID, *every, *timeout)
+	}
 	for {
-		resp, err := http.Get(url + "/metrics")
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
 		if err != nil {
-			log.Fatalf("splayctl watch: %v", err)
+			cancel()
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			return err
 		}
 		var snaps []metrics.SeriesSnapshot
 		err = json.NewDecoder(resp.Body).Decode(&snaps)
 		resp.Body.Close()
+		cancel()
 		if err != nil {
-			log.Fatalf("splayctl watch: decode: %v", err)
+			return fmt.Errorf("decode: %w", err)
 		}
 		fmt.Printf("%s — %d series\n", time.Now().Format(time.TimeOnly), len(snaps))
 		fmt.Printf("  %-28s %-12s %6s %12s %12s %12s %12s\n",
@@ -310,8 +374,164 @@ func watch(url string, every time.Duration) {
 			}
 		}
 		fmt.Println()
+		time.Sleep(*every)
+	}
+}
+
+// watchJob follows one hosted job, printing a row per state change
+// until the job settles; a terminal state other than done is an error.
+func watchJob(url, key, id string, every, timeout time.Duration) error {
+	cl := splay.Connect(url, key)
+	last := ""
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		job, err := cl.Job(ctx, id)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if line := fmt.Sprintf("%s %s nodes=%d", job.ID, job.State, job.Nodes); line != last {
+			fmt.Printf("%s  %s\n", time.Now().Format(time.TimeOnly), line)
+			last = line
+		}
+		if job.State.Terminal() {
+			if job.State != splay.HostDone {
+				return fmt.Errorf("job %s settled as %s: %s", job.ID, job.State, job.Error)
+			}
+			return nil
+		}
 		time.Sleep(every)
 	}
+}
+
+// hostCmd speaks to a hosting plane (splayd -host, or any Session.Host
+// handler) as the tenant owning -key: submit serialized scenarios,
+// list jobs, kill one, read usage.
+func hostCmd(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	key := fs.String("key", "", "tenant key")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	jobID := fs.String("job", "", "job id (jobs: show one; kill: required)")
+	tenant := fs.String("tenant", "", "tenant to account (usage)")
+	app := fs.String("app", "chord", "application to deploy (submit)")
+	nodes := fs.Int("nodes", 10, "instances to deploy (submit)")
+	params := fs.String("params", "", "JSON parameter document for the app (submit)")
+	name := fs.String("name", "", "job name (submit)")
+	seed := fs.Int64("seed", 0, "scenario seed (submit; 0 = platform default)")
+	duration := fs.Duration("duration", 30*time.Second, "workload window (submit)")
+	file := fs.String("file", "", "submit this serialized scenario verbatim (\"-\" = stdin)")
+	wait := fs.Bool("wait", false, "poll until the job settles and print its result (submit)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	url := fs.Arg(0)
+	if url == "" {
+		return fmt.Errorf("need a hosting URL (e.g. http://127.0.0.1:8080)")
+	}
+	if *key == "" {
+		return fmt.Errorf("need a tenant -key")
+	}
+	cl := splay.Connect(url, *key)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	switch cmd {
+	case "submit":
+		var data []byte
+		var err error
+		switch {
+		case *file == "-":
+			data, err = io.ReadAll(os.Stdin)
+		case *file != "":
+			data, err = os.ReadFile(*file)
+		default:
+			sc := splay.Scenario{
+				Name: *name, Seed: *seed, Duration: *duration,
+				Apps: []splay.AppSpec{{Name: *app, Nodes: *nodes, Params: []byte(*params)}},
+			}
+			data, err = sc.Marshal()
+		}
+		if err != nil {
+			return err
+		}
+		job, err := cl.SubmitRaw(ctx, data)
+		if err != nil {
+			return err
+		}
+		if !*wait {
+			return printJSON(job)
+		}
+		fmt.Fprintf(os.Stderr, "submitted %s (%s), waiting\n", job.ID, job.State)
+		for {
+			time.Sleep(time.Second)
+			pctx, pcancel := context.WithTimeout(context.Background(), *timeout)
+			j, err := cl.Job(pctx, job.ID)
+			pcancel()
+			if err != nil {
+				return err
+			}
+			if !j.State.Terminal() {
+				continue
+			}
+			rctx, rcancel := context.WithTimeout(context.Background(), *timeout)
+			res, err := cl.Result(rctx, job.ID)
+			rcancel()
+			if err != nil {
+				return err
+			}
+			if err := printJSON(res); err != nil {
+				return err
+			}
+			if res.State != splay.HostDone {
+				return fmt.Errorf("job %s settled as %s: %s", res.ID, res.State, res.Error)
+			}
+			return nil
+		}
+	case "jobs":
+		if *jobID != "" {
+			job, err := cl.Job(ctx, *jobID)
+			if err != nil {
+				return err
+			}
+			return printJSON(job)
+		}
+		jobs, err := cl.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-10s %6s  %-20s %s\n", "id", "state", "nodes", "apps", "error")
+		for _, j := range jobs {
+			fmt.Printf("%-12s %-10s %6d  %-20s %s\n",
+				j.ID, j.State, j.Nodes, strings.Join(j.Apps, ","), j.Error)
+		}
+		return nil
+	case "kill":
+		if *jobID == "" {
+			return fmt.Errorf("need a -job id")
+		}
+		if err := cl.Kill(ctx, *jobID); err != nil {
+			return err
+		}
+		fmt.Printf("killed %s\n", *jobID)
+		return nil
+	case "usage":
+		if *tenant == "" {
+			return fmt.Errorf("need a -tenant name")
+		}
+		u, err := cl.Usage(ctx, *tenant)
+		if err != nil {
+			return err
+		}
+		return printJSON(u)
+	}
+	return fmt.Errorf("unknown hosting command %q", cmd)
+}
+
+// printJSON renders one API object for scripts: indented, stable keys.
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 func writeJob(w http.ResponseWriter, job *controller.JobStatus) {

@@ -393,9 +393,28 @@ func (c *Controller) serveDaemon(conn transport.Conn) {
 		c.ins.Daemons.Add(1)
 	}
 	c.mu.Lock()
+	// A registering daemon clears its own stale blacklist entry: a host
+	// partitioned by a fault drill that reconnects is placeable again
+	// immediately, without waiting for an operator heal.
+	cleared := false
+	kept := c.blacklist[:0]
+	for _, pat := range c.blacklist {
+		if pat == d.name {
+			cleared = true
+			continue
+		}
+		kept = append(kept, pat)
+	}
+	c.blacklist = kept
 	blk := append(append([]string(nil), c.cfg.Blacklist...), c.blacklist...)
 	c.mu.Unlock()
 	c.send(d, &ctlproto.Msg{Type: ctlproto.TWelcome, Hosts: blk}) //nolint:errcheck
+	if cleared {
+		// The fleet learned the old blacklist; push the shrunk one.
+		c.fanout(c.reg.snapshot(), c.cfg.RegisterTimeout,
+			func(int) *ctlproto.Msg { return &ctlproto.Msg{Type: ctlproto.TBlacklist, Hosts: blk} },
+			func(int, *daemonSession, ctlproto.Msg, error) {})
+	}
 
 	for {
 		var m ctlproto.Msg

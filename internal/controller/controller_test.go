@@ -232,3 +232,62 @@ func TestBlacklistPropagation(t *testing.T) {
 		t.Fatal("job not running")
 	}
 }
+
+// TestReregisterClearsBlacklist pins the revival contract: a daemon
+// whose name was blacklisted (a fault-drill partition) and whose
+// session died becomes immediately placeable when it re-registers —
+// its stale blacklist entry is cleared and the shrunk list pushed to
+// the fleet, without waiting for an operator heal.
+func TestReregisterClearsBlacklist(t *testing.T) {
+	tb := newTestbed(t, 3)
+	tb.k.Go(func() {
+		tb.ctl.SetBlacklist([]string{simnet.HostName(2)})
+	})
+	tb.k.RunFor(time.Minute)
+	blacklisted := func() bool {
+		tb.ctl.mu.Lock()
+		defer tb.ctl.mu.Unlock()
+		for _, pat := range tb.ctl.blacklist {
+			if pat == simnet.HostName(2) {
+				return true
+			}
+		}
+		return false
+	}
+	if !blacklisted() {
+		t.Fatal("partition did not blacklist the daemon")
+	}
+	// The partitioned daemon's session dies…
+	if !tb.ctl.DropDaemon(simnet.HostName(2)) {
+		t.Fatal("drop failed")
+	}
+	tb.k.RunFor(time.Minute)
+	if got := tb.ctl.Daemons(); got != 2 {
+		t.Fatalf("population = %d after drop, want 2", got)
+	}
+	// …and the host revives under its old name.
+	d := daemon.New(tb.rt, tb.nw.Node(2), pingRegistry(),
+		daemon.DefaultConfig(simnet.HostName(2)), nil)
+	tb.k.Go(func() {
+		if err := d.Connect(transport.Addr{Host: "n0", Port: DefaultConfig().Port}); err != nil {
+			t.Errorf("revive: %v", err)
+		}
+	})
+	tb.k.RunFor(time.Minute)
+	if got := tb.ctl.Daemons(); got != 3 {
+		t.Fatalf("population = %d after revival, want 3", got)
+	}
+	if blacklisted() {
+		t.Fatal("revived daemon still blacklisted")
+	}
+	// The revived daemon is placeable right now: a full-population job
+	// lands an instance on every daemon, including the revived one.
+	var job *JobStatus
+	tb.k.Go(func() {
+		job, _ = tb.ctl.Submit(JobSpec{App: "pingapp", Nodes: 3})
+	})
+	tb.k.RunFor(2 * time.Minute)
+	if job == nil || job.State != JobRunning || len(job.Deployed) != 3 {
+		t.Fatalf("job = %+v, want 3 instances running", job)
+	}
+}

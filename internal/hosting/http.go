@@ -1,0 +1,162 @@
+package hosting
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxScenarioBytes bounds one submission body.
+const maxScenarioBytes = 4 << 20
+
+// Handler exposes the service over HTTP/JSON:
+//
+//	POST   /jobs                submit a serialized Scenario
+//	GET    /jobs                list the tenant's jobs
+//	GET    /jobs/{id}           one job's state
+//	GET    /jobs/{id}/result    a finished job's result
+//	DELETE /jobs/{id}           kill (or dequeue) a job
+//	GET    /tenants/{t}/usage   the tenant's accounting
+//
+// Every route authenticates the tenant key from "Authorization: Bearer
+// <key>" (or the X-Splay-Key header). Errors are typed JobErrors
+// serialized as {"error":{"code":...,"detail":...}} with a matching
+// status code.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBytes))
+		if err != nil {
+			writeErr(w, &JobError{Code: ErrBadScenario, Detail: "unreadable body"})
+			return
+		}
+		view, jerr := s.Submit(clientKey(r), body)
+		if jerr != nil {
+			writeErr(w, jerr)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		views, err := s.Jobs(clientKey(r))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if views == nil {
+			views = []JobView{}
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := s.Job(clientKey(r), r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := s.Result(clientKey(r), r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Kill(clientKey(r), r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "killed"})
+	})
+	mux.HandleFunc("GET /tenants/{t}/usage", func(w http.ResponseWriter, r *http.Request) {
+		usage, err := s.Usage(clientKey(r), r.PathValue("t"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, usage)
+	})
+	return mux
+}
+
+// clientKey extracts the tenant key from a request.
+func clientKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return key
+		}
+	}
+	return r.Header.Get("X-Splay-Key")
+}
+
+// httpStatus maps a JobError code to its status line.
+func httpStatus(code ErrorCode) int {
+	switch code {
+	case ErrAuth:
+		return http.StatusUnauthorized
+	case ErrQuota:
+		return http.StatusTooManyRequests
+	case ErrCapacity:
+		return http.StatusUnprocessableEntity
+	case ErrBadScenario:
+		return http.StatusBadRequest
+	case ErrUnknownJob:
+		return http.StatusNotFound
+	case ErrPending:
+		return http.StatusConflict
+	case ErrClosed:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// errBody is the error response document.
+type errBody struct {
+	Error struct {
+		Code   ErrorCode `json:"code"`
+		Job    string    `json:"job,omitempty"`
+		Tenant string    `json:"tenant,omitempty"`
+		Detail string    `json:"detail,omitempty"`
+	} `json:"error"`
+}
+
+// DecodeError parses an error response body back into a typed
+// *JobError — the client half of writeErr.
+func DecodeError(status int, body []byte) *JobError {
+	var eb errBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+		return &JobError{Code: eb.Error.Code, Job: eb.Error.Job,
+			Tenant: eb.Error.Tenant, Detail: eb.Error.Detail}
+	}
+	return &JobError{Code: ErrorCode("http"), Detail: http.StatusText(status)}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var jerr *JobError
+	if !errors.As(err, &jerr) {
+		jerr = &JobError{Code: ErrorCode("internal"), Detail: err.Error()}
+	}
+	var eb errBody
+	eb.Error.Code = jerr.Code
+	eb.Error.Job = jerr.Job
+	eb.Error.Tenant = jerr.Tenant
+	eb.Error.Detail = jerr.Detail
+	if jerr.Err != nil {
+		if eb.Error.Detail != "" {
+			eb.Error.Detail += ": "
+		}
+		eb.Error.Detail += jerr.Err.Error()
+	}
+	writeJSON(w, httpStatus(jerr.Code), eb)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}

@@ -1,0 +1,173 @@
+package hosting
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/controller"
+)
+
+// Submissions arrive as serialized Scenarios (the splay package's
+// Marshal format). The hosting plane reads the subset it places —
+// application references, instance counts, run length — and ignores
+// the rest: the testbed and collection planes belong to the resident
+// platform, not the submission, and sandbox grants are fixed by the
+// app registry the platform was started with. Because the ignored
+// fields still travel, the same bytes run unchanged through a local
+// splay.UnmarshalScenario — the hosted-vs-local byte-identity
+// invariant needs exactly that.
+
+// wireSubmission is the subset of the scenario document hosting reads.
+type wireSubmission struct {
+	Name string  `json:"name"`
+	Seed int64   `json:"seed"`
+	Apps []struct {
+		App      string          `json:"app"`
+		Params   json.RawMessage `json:"params"`
+		Nodes    int             `json:"nodes"`
+		Superset float64         `json:"superset"`
+		FullList bool            `json:"full_list"`
+	} `json:"apps"`
+	SettleNS   time.Duration `json:"settle_ns"`
+	DurationNS time.Duration `json:"duration_ns"`
+}
+
+// submission is a decoded, validated job request.
+type submission struct {
+	name     string
+	seed     int64
+	specs    []controller.JobSpec
+	nodes    int
+	duration time.Duration
+}
+
+// decodeSubmission parses and validates a serialized scenario.
+func decodeSubmission(data []byte) (submission, error) {
+	var w wireSubmission
+	if err := json.Unmarshal(data, &w); err != nil {
+		return submission{}, fmt.Errorf("scenario does not parse: %w", err)
+	}
+	if len(w.Apps) == 0 {
+		return submission{}, errors.New("scenario deploys no applications")
+	}
+	sub := submission{
+		name:     w.Name,
+		seed:     w.Seed,
+		duration: w.SettleNS + w.DurationNS,
+	}
+	for i, a := range w.Apps {
+		if a.App == "" {
+			return submission{}, fmt.Errorf("app entry %d has no name", i)
+		}
+		nodes := a.Nodes
+		if nodes <= 0 {
+			nodes = 1
+		}
+		sub.specs = append(sub.specs, controller.JobSpec{
+			App:      a.App,
+			Params:   append([]byte(nil), a.Params...),
+			Nodes:    nodes,
+			Superset: a.Superset,
+			FullList: a.FullList,
+		})
+		sub.nodes += nodes
+	}
+	if sub.duration < 0 {
+		return submission{}, errors.New("scenario declares a negative duration")
+	}
+	return sub, nil
+}
+
+// JobView is a job's externally visible state.
+type JobView struct {
+	ID          string    `json:"id"`
+	Seq         int64     `json:"seq"`
+	Tenant      string    `json:"tenant"`
+	Name        string    `json:"name,omitempty"`
+	State       JobState  `json:"state"`
+	Nodes       int       `json:"nodes"`
+	Apps        []string  `json:"apps"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// ResultAppView is one placed application inside a result.
+type ResultAppView struct {
+	App      string `json:"app"`
+	Nodes    int    `json:"nodes"`
+	Deployed int    `json:"deployed"`
+}
+
+// ResultView is a finished job's outcome: the structural facts a
+// tenant compares against a local run of the same serialized scenario.
+type ResultView struct {
+	ID          string          `json:"id"`
+	Tenant      string          `json:"tenant"`
+	Name        string          `json:"name,omitempty"`
+	Seed        int64           `json:"seed"`
+	State       JobState        `json:"state"`
+	Apps        []ResultAppView `json:"apps"`
+	Frames      int64           `json:"frames"`
+	QueueWaitNS time.Duration   `json:"queue_wait_ns"`
+	Error       string          `json:"error,omitempty"`
+}
+
+// UsageView is a tenant's accounting snapshot.
+type UsageView struct {
+	Tenant       string `json:"tenant"`
+	Quota        Quota  `json:"quota"`
+	RunningJobs  int    `json:"running_jobs"`
+	RunningNodes int    `json:"running_nodes"`
+	QueuedJobs   int    `json:"queued_jobs"`
+	TotalJobs    int    `json:"total_jobs"`
+	TotalFrames  int64  `json:"total_frames"`
+}
+
+// viewLocked snapshots a job. Callers hold s.mu.
+func (s *Service) viewLocked(j *job) JobView {
+	apps := make([]string, len(j.specs))
+	for i, sp := range j.specs {
+		apps[i] = sp.App
+	}
+	return JobView{
+		ID:          j.id,
+		Seq:         j.seq,
+		Tenant:      j.ten.Name,
+		Name:        j.name,
+		State:       j.state,
+		Nodes:       j.nodes,
+		Apps:        apps,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		Error:       j.errMsg,
+	}
+}
+
+// resultLocked snapshots a terminal job's result. Callers hold s.mu.
+func (s *Service) resultLocked(j *job) ResultView {
+	rv := ResultView{
+		ID:     j.id,
+		Tenant: j.ten.Name,
+		Name:   j.name,
+		Seed:   j.seed,
+		State:  j.state,
+		Frames: j.frames,
+		Error:  j.errMsg,
+	}
+	if !j.startedAt.IsZero() {
+		rv.QueueWaitNS = j.startedAt.Sub(j.submittedAt)
+	}
+	for i, sp := range j.specs {
+		av := ResultAppView{App: sp.App, Nodes: sp.Nodes}
+		if i < len(j.deployed) {
+			av.Deployed = j.deployed[i]
+		}
+		rv.Apps = append(rv.Apps, av)
+	}
+	return rv
+}

@@ -25,7 +25,7 @@ type Aggregator struct {
 
 	mu          sync.Mutex
 	keys        map[string]bool
-	nodes       map[string]*nodeStream
+	nodes       map[string]string // canonical node-name table
 	nodeOrder   []string
 	series      map[string]*series
 	seriesOrder []string
@@ -33,13 +33,14 @@ type Aggregator struct {
 	bytes       uint64
 }
 
-// nodeStream is the aggregator's view of one reporting node: its
-// id→series dictionary and last sequence number. name is the canonical
-// copy of the node's identifier — every frame decodes its own, and
-// absorb swaps in this one so per-series maps key one shared string
-// instead of retaining a private copy per (series, node).
-type nodeStream struct {
-	name string
+// stream is the aggregator's per-connection state: the reporter's
+// id→series dictionary and its last sequence number. The dictionary
+// belongs to the connection, not the node name — several instances on
+// one daemon host each open their own stream under the shared host
+// name, and each ships its own Defs exactly once. Keying the dictionary
+// by node name would let the newest stream's Defs capture every
+// sibling's subsequent delta frames.
+type stream struct {
 	defs []*series
 	seq  uint64
 }
@@ -66,7 +67,7 @@ func NewAggregator(node transport.Node, port int, spawn func(fn func())) (*Aggre
 		ln:     ln,
 		spawn:  spawn,
 		keys:   make(map[string]bool),
-		nodes:  make(map[string]*nodeStream),
+		nodes:  make(map[string]string),
 		series: make(map[string]*series),
 	}
 	spawn(a.acceptLoop)
@@ -99,13 +100,14 @@ func (a *Aggregator) acceptLoop() {
 func (a *Aggregator) serve(conn transport.Conn) {
 	defer conn.Close()
 	var rx byteMeter
+	var st stream
 	dec := llenc.NewReader(countingReader{r: conn, n: &rx})
 	for {
 		var rep Report
 		if err := dec.Decode(&rep); err != nil {
 			return
 		}
-		if !a.absorb(&rep, rx.drain()) {
+		if !a.absorb(&rep, rx.drain(), &st) {
 			return // unauthenticated or malformed: drop the stream
 		}
 	}
@@ -116,7 +118,7 @@ func (a *Aggregator) serve(conn transport.Conn) {
 // stops presenting its key dies mid-stream like the log collector's —
 // or a frame referencing ids and kinds inconsistently. Validation runs
 // before any mutation, so a refused frame leaves the views untouched.
-func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
+func (a *Aggregator) absorb(rep *Report, rxBytes uint64, st *stream) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if !a.keys[rep.Key] {
@@ -124,7 +126,6 @@ func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
 	}
 
 	node := rep.Node
-	ns := a.nodes[node] // nil on a node's first report: created below
 	known := func(id int) *series {
 		for _, d := range rep.Defs {
 			if d.ID == id {
@@ -134,8 +135,8 @@ func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
 				return &series{name: d.Name, kind: d.Kind}
 			}
 		}
-		if ns != nil && id >= 0 && id < len(ns.defs) {
-			return ns.defs[id]
+		if id >= 0 && id < len(st.defs) {
+			return st.defs[id]
 		}
 		return nil
 	}
@@ -178,14 +179,13 @@ func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
 	// Validated: apply.
 	a.frames++
 	a.bytes += rxBytes
-	if ns == nil {
-		ns = &nodeStream{name: node}
-		a.nodes[node] = ns
-		a.nodeOrder = append(a.nodeOrder, node)
+	if canon, ok := a.nodes[node]; ok {
+		node = canon // shared name table: drop this frame's copy
 	} else {
-		node = ns.name // shared name table: drop this frame's copy
+		a.nodes[node] = node
+		a.nodeOrder = append(a.nodeOrder, node)
 	}
-	ns.seq = rep.Seq
+	st.seq = rep.Seq
 	for _, d := range rep.Defs {
 		s, ok := a.series[d.Name]
 		if !ok {
@@ -193,22 +193,22 @@ func (a *Aggregator) absorb(rep *Report, rxBytes uint64) bool {
 			a.series[d.Name] = s
 			a.seriesOrder = append(a.seriesOrder, d.Name)
 		}
-		for len(ns.defs) <= d.ID {
-			ns.defs = append(ns.defs, nil)
+		for len(st.defs) <= d.ID {
+			st.defs = append(st.defs, nil)
 		}
-		ns.defs[d.ID] = s
+		st.defs[d.ID] = s
 	}
 	for _, c := range rep.C {
-		s := ns.defs[c.ID]
+		s := st.defs[c.ID]
 		s.total += c.D
 		s.perNode[node] += int64(c.D)
 	}
 	for _, g := range rep.G {
-		s := ns.defs[g.ID]
+		s := st.defs[g.ID]
 		s.perNode[node] = g.V
 	}
 	for _, h := range rep.H {
-		s := ns.defs[h.ID]
+		s := st.defs[h.ID]
 		for i := 0; i < len(h.B); i += 2 {
 			s.buckets[h.B[i]] += h.B[i+1]
 			s.count += h.B[i+1]

@@ -1,0 +1,148 @@
+package splay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/splaykit/splay/internal/hosting"
+)
+
+// Remote is a client for a hosting plane (splayd -host, or any
+// Session.Host handler): run a Scenario remotely with a one-line
+// change — Connect(url, key) instead of a local testbed.
+type Remote struct {
+	base string
+	key  string
+	hc   *http.Client
+	// Poll spaces Run's job-state polls. Default 1s.
+	Poll time.Duration
+}
+
+// Connect returns a client for the hosting plane at url, submitting as
+// the tenant owning key.
+func Connect(url, key string) *Remote {
+	return &Remote{
+		base: strings.TrimRight(url, "/"),
+		key:  key,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+		Poll: time.Second,
+	}
+}
+
+// do issues one authenticated request and decodes the response into
+// out. Non-2xx responses come back as typed *HostError.
+func (r *Remote) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+r.key)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return hosting.DecodeError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("splay: remote response: %w", err)
+	}
+	return nil
+}
+
+// Submit serializes the scenario and submits it.
+func (r *Remote) Submit(ctx context.Context, sc Scenario) (HostJob, error) {
+	data, err := sc.Marshal()
+	if err != nil {
+		return HostJob{}, err
+	}
+	return r.SubmitRaw(ctx, data)
+}
+
+// SubmitRaw submits an already-serialized scenario.
+func (r *Remote) SubmitRaw(ctx context.Context, scenario []byte) (HostJob, error) {
+	var view HostJob
+	err := r.do(ctx, http.MethodPost, "/jobs", scenario, &view)
+	return view, err
+}
+
+// Job returns one job's state.
+func (r *Remote) Job(ctx context.Context, id string) (HostJob, error) {
+	var view HostJob
+	err := r.do(ctx, http.MethodGet, "/jobs/"+id, nil, &view)
+	return view, err
+}
+
+// Jobs lists the tenant's jobs.
+func (r *Remote) Jobs(ctx context.Context) ([]HostJob, error) {
+	var views []HostJob
+	err := r.do(ctx, http.MethodGet, "/jobs", nil, &views)
+	return views, err
+}
+
+// Result returns a finished job's result.
+func (r *Remote) Result(ctx context.Context, id string) (HostResult, error) {
+	var res HostResult
+	err := r.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// Kill dequeues or stops a job.
+func (r *Remote) Kill(ctx context.Context, id string) error {
+	return r.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+// Usage reports the tenant's accounting.
+func (r *Remote) Usage(ctx context.Context, tenant string) (HostUsage, error) {
+	var u HostUsage
+	err := r.do(ctx, http.MethodGet, "/tenants/"+tenant+"/usage", nil, &u)
+	return u, err
+}
+
+// Run submits a scenario and polls until the job finishes, returning
+// its result — the remote analogue of Scenario.Run.
+func (r *Remote) Run(ctx context.Context, sc Scenario) (HostResult, error) {
+	view, err := r.Submit(ctx, sc)
+	if err != nil {
+		return HostResult{}, err
+	}
+	poll := r.Poll
+	if poll <= 0 {
+		poll = time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return HostResult{}, ctx.Err()
+		case <-time.After(poll):
+		}
+		job, err := r.Job(ctx, view.ID)
+		if err != nil {
+			return HostResult{}, err
+		}
+		if job.State.Terminal() {
+			return r.Result(ctx, view.ID)
+		}
+	}
+}

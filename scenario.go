@@ -147,10 +147,12 @@ type Session struct {
 	hasNet bool
 
 	rt      core.Runtime
+	node    transport.Node // the controller's host (reporter dialing)
 	ctl     *controller.Controller
 	agg     *metrics.Aggregator
 	reg     *core.Registry
 	collect *collectTarget
+	host    *Host
 
 	ex    *churn.Executor
 	insts []*core.Instance // churn slots
@@ -341,6 +343,7 @@ func (sc Scenario) startSim(tb *simTestbed) (*Session, error) {
 	}
 	ctl := controller.New(rt, nw.Node(0), cfg)
 	s.ctl = ctl
+	s.node = nw.Node(0)
 	if collecting {
 		// Controller instruments plus fleet-wide daemon accounting
 		// share one registry, reported over the wire like every
@@ -542,6 +545,7 @@ func (sc Scenario) startLive(ctx context.Context, tb *liveTestbed) (*Session, er
 	}
 	ctl := controller.New(rt, node, cfg)
 	s.ctl = ctl
+	s.node = node
 
 	var dmnIns daemon.Instruments
 	if sc.Collect.Metrics {
@@ -919,6 +923,11 @@ func (s *Session) Stop() {
 	}
 	if s.eng != nil {
 		s.eng.Stop()
+	}
+	if s.host != nil && s.live {
+		// Kill hosted jobs while the controller still answers; simulated
+		// sessions halt with their kernel.
+		s.host.svc.Close()
 	}
 	if s.ctl != nil {
 		s.ctl.Stop()

@@ -19,9 +19,14 @@ type Testbed interface {
 
 // simTestbed is a simulated testbed: a link model over total hosts
 // (daemons plus the controller and, when metrics are collected, a
-// dedicated monitoring host).
+// dedicated monitoring host). kind (plus rtt/bps for Uniform) records
+// which constructor built it, so a Scenario can serialize its testbed
+// and Unmarshal can rebuild an equivalent one (see serialize.go).
 type simTestbed struct {
 	daemons int
+	kind    string
+	rtt     time.Duration // Uniform only
+	bps     float64       // Uniform only
 	build   func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc)
 }
 
@@ -32,7 +37,7 @@ func (t *simTestbed) isTestbed()   {}
 // population: heavy-tailed host slowness, per-host asymmetric access
 // links and a loss floor (the paper's §5.2-5.3 deployment environment).
 func PlanetLab(daemons int) Testbed {
-	return &simTestbed{daemons: daemons, build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
+	return &simTestbed{daemons: daemons, kind: "planetlab", build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
 		cfg := topology.DefaultPlanetLab(total)
 		cfg.Seed = seed
 		pl := topology.NewPlanetLab(cfg)
@@ -43,7 +48,7 @@ func PlanetLab(daemons int) Testbed {
 // ModelNet simulates a ModelNet-style emulation cluster: a transit-stub
 // topology with shortest-path delays (the paper's §5.2 cluster).
 func ModelNet(daemons int) Testbed {
-	return &simTestbed{daemons: daemons, build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
+	return &simTestbed{daemons: daemons, kind: "modelnet", build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
 		return topology.NewModelNet(topology.DefaultModelNet(total)), nil
 	}}
 }
@@ -52,7 +57,7 @@ func ModelNet(daemons int) Testbed {
 // the same round-trip time and per-host bandwidth (0 = unlimited).
 // Daemons may be 0 when a churn trace drives the population instead.
 func Uniform(daemons int, rtt time.Duration, bps float64) Testbed {
-	return &simTestbed{daemons: daemons, build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
+	return &simTestbed{daemons: daemons, kind: "uniform", rtt: rtt, bps: bps, build: func(total int, seed int64) (simnet.LinkModel, simnet.ProcDelayFunc) {
 		return simnet.Symmetric{RTT: rtt, Bps: bps}, nil
 	}}
 }
