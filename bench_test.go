@@ -61,6 +61,8 @@ func BenchmarkLookup1mMemoryPlane(b *testing.B)     { benchExperiment(b, "lookup
 func BenchmarkObsplaneMonitoring(b *testing.B)      { benchExperiment(b, "obsplane", 0.05) }
 func BenchmarkFaultplaneClosedLoop(b *testing.B)    { benchExperiment(b, "faultplane", 0.05) }
 func BenchmarkHostplanePlatform(b *testing.B)       { benchExperiment(b, "hostplane", 0.05) }
+func BenchmarkConfigplaneTwinRuns(b *testing.B)     { benchExperiment(b, "configplane", 1) }
+func BenchmarkGossipConvergence(b *testing.B)       { benchExperiment(b, "gossip", 1) }
 
 // BenchmarkFig8RealMemoryPerInstance measures the actual Go heap consumed
 // per Pastry instance, the companion to Fig. 8's modeled footprint: the
@@ -192,9 +194,9 @@ func BenchmarkKernelThroughput(b *testing.B) {
 
 // Guard: experiments registry stays complete.
 func TestBenchTargetsCoverAllExperiments(t *testing.T) {
-	want := []string{"ctlplane", "faultplane", "fig3", "fig4", "fig6a", "fig6b",
+	want := []string{"configplane", "ctlplane", "faultplane", "fig3", "fig4", "fig6a", "fig6b",
 		"fig6c", "fig7a", "fig7b", "fig7c", "fig8", "fig9", "fig10", "fig11", "fig12",
-		"fig13", "fig14", "hostplane", "lookup10k", "lookup100k", "lookup1m", "obsplane", "tab1"}
+		"fig13", "fig14", "gossip", "hostplane", "lookup10k", "lookup100k", "lookup1m", "obsplane", "tab1"}
 	have := experiments.IDs()
 	set := map[string]bool{}
 	for _, id := range have {

@@ -1,0 +1,266 @@
+package splay
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/splaykit/splay/internal/apps"
+	"github.com/splaykit/splay/internal/protocols/bittorrent"
+	"github.com/splaykit/splay/internal/protocols/chord"
+	"github.com/splaykit/splay/internal/protocols/cyclon"
+	"github.com/splaykit/splay/internal/protocols/epidemic"
+	"github.com/splaykit/splay/internal/protocols/pastry"
+	"github.com/splaykit/splay/internal/rpc"
+)
+
+// The built-in applications as SDK factories. These mirror the engine
+// factories in internal/apps deployment-step for deployment-step — the
+// same constructor calls, staggered joins, maintenance and workload
+// periodics, in the same order — so a by-name spec schedules
+// byte-identically whether it runs here or through the raw engine
+// registry. On top of the mirror they honor the catalog's `report`
+// parameter: when a job sets report=true, the instance attaches the
+// protocol's metric instruments (pure memory operations,
+// schedule-neutral) and streams them to the scenario's collect plane
+// via Env.StartReporting. Both are strictly opt-in so that hosted jobs
+// and goldens that never ask for telemetry keep their exact schedules
+// and their exact per-instance footprint (the million-node experiments
+// are footprint-gated).
+
+// reportOpt is the shared `report` job parameter.
+type reportOpt struct {
+	Report bool `json:"report"`
+}
+
+// builtinFactory returns the SDK factory for a built-in application
+// name, or nil when the name is not built in.
+func builtinFactory(name string) Factory {
+	switch name {
+	case "chord":
+		return chordBuiltin
+	case "pastry":
+		return pastryBuiltin
+	case "cyclon":
+		return cyclonBuiltin
+	case "epidemic":
+		return epidemicBuiltin
+	case "bittorrent":
+		return bittorrentBuiltin
+	}
+	return nil
+}
+
+// startReportingIf wires the instance's registry into the collect plane
+// when the job asked for it. A missing collector is a configuration
+// error the config compiler rejects up front; a handwritten scenario
+// that slips through gets the typed ErrNoCollector here.
+func startReportingIf(env *Env, r reportOpt) error {
+	if !r.Report {
+		return nil
+	}
+	return env.StartReporting()
+}
+
+func chordBuiltin(params []byte) (App, error) {
+	var p apps.ChordParams
+	var r reportOpt
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("chord app: %w", err)
+		}
+		if err := json.Unmarshal(params, &r); err != nil {
+			return nil, fmt.Errorf("chord app: %w", err)
+		}
+	}
+	return AppFunc(func(env *Env) error {
+		ctx := env.AppContext()
+		cfg := chord.DefaultConfig()
+		if p.FaultTolerant {
+			cfg = chord.FaultTolerantConfig()
+		}
+		if p.Bits > 0 {
+			cfg.Bits = p.Bits
+		}
+		n, err := chord.New(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if r.Report {
+			n.SetInstruments(chord.NewInstruments(env.Metrics()))
+			n.SetRPCInstruments(rpc.NewInstruments(env.Metrics()))
+		}
+		if err := n.Start(); err != nil {
+			return err
+		}
+		if err := startReportingIf(env, r); err != nil {
+			return err
+		}
+		// Staggered joins, one second apart, as in §5.2's descriptor.
+		ctx.Sleep(time.Duration(ctx.Job.Position) * time.Second)
+		if ctx.Job.Position > 1 && len(ctx.Job.Nodes) > 0 {
+			if err := n.Join(ctx.Job.Nodes[0]); err != nil {
+				ctx.Log.Printf("chord join failed: %v", err)
+			}
+		}
+		n.StartMaintenance()
+		if p.LookupsPerMin > 0 {
+			ctx.Periodic(time.Minute/time.Duration(p.LookupsPerMin), func() {
+				key := ctx.Rand().Uint64()
+				if res, err := n.Lookup(key); err == nil {
+					ctx.Log.Printf("lookup %d -> %s in %d hops (%s)", key, res.Node, res.Hops, res.RTT)
+				}
+			})
+		}
+		env.RunUntilKilled()
+		n.Stop()
+		return nil
+	}), nil
+}
+
+func pastryBuiltin(params []byte) (App, error) {
+	var p apps.PastryParams
+	var r reportOpt
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("pastry app: %w", err)
+		}
+		if err := json.Unmarshal(params, &r); err != nil {
+			return nil, fmt.Errorf("pastry app: %w", err)
+		}
+	}
+	return AppFunc(func(env *Env) error {
+		ctx := env.AppContext()
+		n := pastry.New(ctx, pastry.DefaultConfig())
+		if r.Report {
+			n.SetInstruments(pastry.NewInstruments(env.Metrics()))
+		}
+		if err := n.Start(); err != nil {
+			return err
+		}
+		if err := startReportingIf(env, r); err != nil {
+			return err
+		}
+		ctx.Sleep(time.Duration(ctx.Job.Position) * time.Second)
+		if ctx.Job.Position > 1 && len(ctx.Job.Nodes) > 0 {
+			if err := n.Join(ctx.Job.Nodes[0]); err != nil {
+				ctx.Log.Printf("pastry join failed: %v", err)
+			}
+		}
+		n.StartMaintenance()
+		if p.LookupsPerMin > 0 {
+			ctx.Periodic(time.Minute/time.Duration(p.LookupsPerMin), func() {
+				key := pastry.ID(ctx.Rand().Uint64())
+				if res, err := n.Route(key); err == nil {
+					ctx.Log.Printf("route %s -> %s in %d hops (%s)", key, res.Root, res.Hops, res.RTT)
+				}
+			})
+		}
+		env.RunUntilKilled()
+		n.Stop()
+		return nil
+	}), nil
+}
+
+func cyclonBuiltin(params []byte) (App, error) {
+	var p apps.CyclonParams
+	var r reportOpt
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("cyclon app: %w", err)
+		}
+		if err := json.Unmarshal(params, &r); err != nil {
+			return nil, fmt.Errorf("cyclon app: %w", err)
+		}
+	}
+	return AppFunc(func(env *Env) error {
+		ctx := env.AppContext()
+		n := cyclon.New(ctx, p.Config())
+		if r.Report {
+			n.SetInstruments(cyclon.NewInstruments(env.Metrics()))
+		}
+		if err := n.Start(ctx.Job.Nodes); err != nil {
+			return err
+		}
+		if err := startReportingIf(env, r); err != nil {
+			return err
+		}
+		env.RunUntilKilled()
+		n.Stop()
+		return nil
+	}), nil
+}
+
+func epidemicBuiltin(params []byte) (App, error) {
+	var p apps.EpidemicParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("epidemic app: %w", err)
+		}
+	}
+	return AppFunc(func(env *Env) error {
+		ctx := env.AppContext()
+		cfg := epidemic.DefaultConfig()
+		if p.Fanout > 0 {
+			cfg.Fanout = p.Fanout
+		}
+		n := epidemic.New(ctx, cfg, ctx.Job.Nodes)
+		if err := n.Start(); err != nil {
+			return err
+		}
+		if p.Originate && ctx.Job.Position == 1 {
+			ctx.After(10*time.Second, func() {
+				n.Broadcast("rumor-1", []byte("hello from the rendez-vous"))
+			})
+		}
+		env.RunUntilKilled()
+		n.Stop()
+		return nil
+	}), nil
+}
+
+func bittorrentBuiltin(params []byte) (App, error) {
+	var p apps.BitTorrentParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bittorrent app: %w", err)
+		}
+	}
+	if p.Size <= 0 {
+		p.Size = 4 << 20
+	}
+	if p.PieceSize <= 0 {
+		p.PieceSize = 64 << 10
+	}
+	return AppFunc(func(env *Env) error {
+		ctx := env.AppContext()
+		torrent := bittorrent.Torrent{Name: ctx.Job.JobID, Size: p.Size, PieceSize: p.PieceSize}
+		if ctx.Job.Position == 1 {
+			tr := bittorrent.NewTracker(ctx)
+			if err := tr.Start(); err != nil {
+				return err
+			}
+			env.RunUntilKilled()
+			return nil
+		}
+		if len(ctx.Job.Nodes) == 0 {
+			return fmt.Errorf("bittorrent app: no tracker address")
+		}
+		peer := bittorrent.NewPeer(ctx, torrent, ctx.Job.Nodes[0], ctx.Job.Position == 2, bittorrent.DefaultConfig())
+		if err := peer.Start(); err != nil {
+			return err
+		}
+		for !ctx.Killed() {
+			ctx.Sleep(5 * time.Second)
+			if peer.Complete() {
+				ctx.Log.Printf("download complete (%d pieces)", peer.Pieces())
+				break
+			}
+		}
+		for !ctx.Killed() { // keep seeding
+			ctx.Sleep(10 * time.Second)
+		}
+		peer.Stop()
+		return nil
+	}), nil
+}

@@ -14,6 +14,9 @@
 //	splayctl jobs -key k [-job id] http://host:8080
 //	splayctl kill -key k -job id http://host:8080
 //	splayctl usage -key k -tenant name http://host:8080
+//	splayctl apply [-host http://host:8080 -key k [-wait]] scenario.yaml
+//	splayctl validate scenario.yaml [more.yaml ...]
+//	splayctl catalog
 //
 // Submit jobs with the splay CLI or plain HTTP:
 //
@@ -35,8 +38,19 @@
 // speak to a hosting plane — splayd -host, or any Session.Host
 // handler — as the tenant owning -key. Submissions are serialized
 // Scenarios: built from -app/-nodes/-params/-duration, or shipped
-// verbatim from -file (use "-" for stdin). Every subcommand bounds
-// each HTTP request with -timeout and exits non-zero on any error.
+// from -file / -f (use "-" for stdin). A -file that is a scenario
+// document (splay.IsConfigDocument) is compiled client-side against
+// the built-in catalog, so typed errors surface before any network
+// round-trip and what travels is always the canonical wire form.
+// Every subcommand bounds each HTTP request with -timeout and exits
+// non-zero on any error.
+//
+// The config-plane subcommands need no running controller: "apply"
+// compiles a scenario document and runs it — in-process on a fresh
+// simulated (or live) testbed, or hosted when -host names a platform
+// — "validate" type-checks documents against the catalog, and
+// "catalog" prints the catalog itself: every built-in application
+// with its typed parameters, defaults and bounds.
 package main
 
 import (
@@ -77,8 +91,14 @@ func main() {
 			err = faultsCmd(flag.Args()[1:])
 		case "submit", "jobs", "kill", "usage":
 			err = hostCmd(cmd, flag.Args()[1:])
+		case "apply":
+			err = applyCmd(flag.Args()[1:])
+		case "validate":
+			err = validateCmd(flag.Args()[1:])
+		case "catalog":
+			err = catalogCmd()
 		default:
-			err = fmt.Errorf("unknown command %q (want watch, faults, submit, jobs, kill or usage)", cmd)
+			err = fmt.Errorf("unknown command %q (want watch, faults, submit, jobs, kill, usage, apply, validate or catalog)", cmd)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "splayctl %s: %v\n", cmd, err)
@@ -419,7 +439,8 @@ func hostCmd(cmd string, args []string) error {
 	name := fs.String("name", "", "job name (submit)")
 	seed := fs.Int64("seed", 0, "scenario seed (submit; 0 = platform default)")
 	duration := fs.Duration("duration", 30*time.Second, "workload window (submit)")
-	file := fs.String("file", "", "submit this serialized scenario verbatim (\"-\" = stdin)")
+	file := fs.String("file", "", "submit this scenario — wire JSON, or a document compiled client-side (\"-\" = stdin)")
+	fs.StringVar(file, "f", "", "shorthand for -file")
 	wait := fs.Bool("wait", false, "poll until the job settles and print its result (submit)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	url := fs.Arg(0)
@@ -451,39 +472,16 @@ func hostCmd(cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
-		job, err := cl.SubmitRaw(ctx, data)
-		if err != nil {
-			return err
-		}
-		if !*wait {
-			return printJSON(job)
-		}
-		fmt.Fprintf(os.Stderr, "submitted %s (%s), waiting\n", job.ID, job.State)
-		for {
-			time.Sleep(time.Second)
-			pctx, pcancel := context.WithTimeout(context.Background(), *timeout)
-			j, err := cl.Job(pctx, job.ID)
-			pcancel()
+		if splay.IsConfigDocument(data) {
+			// Compile here, not server-side: typed *ConfigErrors carry
+			// the document position, and the wire bytes that travel are
+			// exactly what a handwritten Scenario would marshal.
+			data, err = splay.CompileConfig(data)
 			if err != nil {
 				return err
 			}
-			if !j.State.Terminal() {
-				continue
-			}
-			rctx, rcancel := context.WithTimeout(context.Background(), *timeout)
-			res, err := cl.Result(rctx, job.ID)
-			rcancel()
-			if err != nil {
-				return err
-			}
-			if err := printJSON(res); err != nil {
-				return err
-			}
-			if res.State != splay.HostDone {
-				return fmt.Errorf("job %s settled as %s: %s", res.ID, res.State, res.Error)
-			}
-			return nil
 		}
+		return submitData(cl, data, *timeout, *wait)
 	case "jobs":
 		if *jobID != "" {
 			job, err := cl.Job(ctx, *jobID)
@@ -522,6 +520,160 @@ func hostCmd(cmd string, args []string) error {
 		return printJSON(u)
 	}
 	return fmt.Errorf("unknown hosting command %q", cmd)
+}
+
+// submitData ships wire scenario bytes to a hosting plane and, with
+// wait, polls until the job settles and prints its result. Every HTTP
+// request is individually bounded by timeout.
+func submitData(cl *splay.Remote, data []byte, timeout time.Duration, wait bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	job, err := cl.SubmitRaw(ctx, data)
+	cancel()
+	if err != nil {
+		return err
+	}
+	if !wait {
+		return printJSON(job)
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s (%s), waiting\n", job.ID, job.State)
+	for {
+		time.Sleep(time.Second)
+		pctx, pcancel := context.WithTimeout(context.Background(), timeout)
+		j, err := cl.Job(pctx, job.ID)
+		pcancel()
+		if err != nil {
+			return err
+		}
+		if !j.State.Terminal() {
+			continue
+		}
+		rctx, rcancel := context.WithTimeout(context.Background(), timeout)
+		res, err := cl.Result(rctx, job.ID)
+		rcancel()
+		if err != nil {
+			return err
+		}
+		if err := printJSON(res); err != nil {
+			return err
+		}
+		if res.State != splay.HostDone {
+			return fmt.Errorf("job %s settled as %s: %s", res.ID, res.State, res.Error)
+		}
+		return nil
+	}
+}
+
+// applyCmd runs a scenario document. Without -host it compiles and
+// executes the document in-process — the full no-Go path: testbed,
+// deployment, faults, assertions — and prints the deployed jobs plus
+// the aggregated metric view. With -host it compiles client-side and
+// submits the canonical wire bytes to a hosting plane as -key's
+// tenant.
+func applyCmd(args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	hostURL := fs.String("host", "", "submit to this hosting URL instead of running in-process")
+	key := fs.String("key", "", "tenant key (with -host)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (with -host)")
+	wait := fs.Bool("wait", false, "poll until the hosted job settles (with -host)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	path := fs.Arg(0)
+	if path == "" {
+		return fmt.Errorf("need a scenario document (e.g. examples/quickstart/scenario.yaml)")
+	}
+	if *hostURL != "" {
+		if *key == "" {
+			return fmt.Errorf("need a tenant -key with -host")
+		}
+		data, err := readDoc(path)
+		if err != nil {
+			return err
+		}
+		if splay.IsConfigDocument(data) {
+			if data, err = splay.CompileConfig(data); err != nil {
+				return err
+			}
+		}
+		return submitData(splay.Connect(*hostURL, *key), data, *timeout, *wait)
+	}
+	sc, err := splay.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := sc.Run(context.Background())
+	if res != nil {
+		for _, j := range res.Jobs {
+			fmt.Printf("job %-10s %-8s %d instances\n", j.ID, j.State, len(j.Deployed))
+		}
+		if res.Metrics != nil {
+			frames, bytes := res.Metrics.Received()
+			fmt.Printf("telemetry: %d nodes, %d frames, %d bytes\n",
+				res.Metrics.Nodes(), frames, bytes)
+			for _, s := range res.Metrics.Snapshot() {
+				switch s.Kind {
+				case "counter":
+					fmt.Printf("  %-28s %12d\n", s.Name, s.Total)
+				case "gauge":
+					fmt.Printf("  %-28s %12d\n", s.Name, s.Sum)
+				default:
+					fmt.Printf("  %-28s %12d  p50=%d p90=%d\n", s.Name, s.Count, s.P50, s.P90)
+				}
+			}
+		}
+	}
+	return err
+}
+
+// validateCmd type-checks scenario documents against the built-in
+// catalog without running anything; any invalid document makes the
+// exit status non-zero.
+func validateCmd(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() == 0 {
+		return fmt.Errorf("need at least one scenario document")
+	}
+	bad := 0
+	for _, path := range fs.Args() {
+		data, err := readDoc(path)
+		if err == nil {
+			err = splay.ValidateConfig(data)
+		}
+		if err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d documents invalid", bad, fs.NArg())
+	}
+	return nil
+}
+
+// catalogCmd prints the built-in app catalog: what a document may
+// reference, each parameter's kind, default and bounds.
+func catalogCmd() error {
+	for i, app := range splay.BuiltinCatalog().Apps() {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("%s — %s\n", app.Name, app.Doc)
+		fmt.Printf("  %-16s %-9s %-10s %-22s %s\n", "param", "kind", "default", "bounds", "doc")
+		for _, p := range app.Params {
+			fmt.Printf("  %-16s %-9s %-10s %-22s %s\n",
+				p.Name, p.Kind, p.FormatDefault(), p.FormatBounds(), p.Doc)
+		}
+	}
+	return nil
+}
+
+// readDoc reads one document argument ("-" = stdin).
+func readDoc(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }
 
 // printJSON renders one API object for scripts: indented, stable keys.

@@ -30,6 +30,7 @@ import (
 
 	splay "github.com/splaykit/splay"
 	"github.com/splaykit/splay/internal/apps"
+	"github.com/splaykit/splay/internal/config"
 	"github.com/splaykit/splay/internal/controller"
 	"github.com/splaykit/splay/internal/daemon"
 	"github.com/splaykit/splay/internal/hosting"
@@ -195,7 +196,10 @@ func hostMain(name string, port, httpPort int, useTLS bool, capacity int, tenant
 	if err := ctl.Start(); err != nil {
 		return err
 	}
-	svc := hosting.New(rt, ctl, hosting.Config{Capacity: capacity})
+	// Admission validates every submission — wire JSON or a config
+	// document — against the built-in app catalog: unknown apps and
+	// out-of-range params bounce as bad_scenario before queuing.
+	svc := hosting.New(rt, ctl, hosting.Config{Capacity: capacity, Catalog: config.Builtins()})
 	for _, t := range tenants {
 		if err := svc.AddTenant(t); err != nil {
 			return err

@@ -1,0 +1,27 @@
+// Cyclon gossip: run the scenario.yaml document through the SDK.
+//
+//	go run ./examples/cyclon-gossip
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	splay "github.com/splaykit/splay"
+)
+
+func main() {
+	sc, err := splay.LoadScenarioFile("examples/cyclon-gossip/scenario.yaml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shuffles=%d view-sum=%d streams=%d\n",
+		res.Metrics.Counter("cyclon.shuffles"),
+		res.Metrics.GaugeSum("cyclon.view"),
+		res.Metrics.Nodes())
+}

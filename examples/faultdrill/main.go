@@ -1,0 +1,29 @@
+// Faultdrill: run a scenario document through the SDK — the no-Go
+// experiment authored in scenario.yaml, loaded and executed verbatim.
+//
+//	go run ./examples/faultdrill
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	splay "github.com/splaykit/splay"
+)
+
+func main() {
+	sc, err := splay.LoadScenarioFile("examples/faultdrill/scenario.yaml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("faultdrill: %d daemons, partition at +60s, closed-loop heal…\n", 60)
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lookups=%d failed=%d streams=%d\n",
+		res.Metrics.Counter("chord.lookups"),
+		res.Metrics.Counter("chord.failed_lookups"),
+		res.Metrics.Nodes())
+}

@@ -64,6 +64,12 @@ type HostConfig struct {
 	DefaultDuration time.Duration
 	// MaxDuration clamps declared job durations (0 = unclamped).
 	MaxDuration time.Duration
+	// Catalog validates submissions at admission (app references and
+	// typed parameters) and enables config-document submissions,
+	// compiled at the door to the canonical wire form. Nil admits any
+	// wire JSON unvalidated and declines documents; BuiltinCatalog()
+	// is the usual choice.
+	Catalog *Catalog
 }
 
 // Host is a session's resident hosting plane.
@@ -89,6 +95,7 @@ func (s *Session) Host(cfg HostConfig) (*Host, error) {
 		RetryDelay:      cfg.RetryDelay,
 		DefaultDuration: cfg.DefaultDuration,
 		MaxDuration:     cfg.MaxDuration,
+		Catalog:         cfg.Catalog,
 	}
 	var reg *metrics.Registry
 	if s.collect != nil {

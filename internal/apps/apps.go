@@ -144,9 +144,38 @@ func pastryFactory(params json.RawMessage) (core.App, error) {
 	}), nil
 }
 
+// CyclonParams configures the "cyclon" application. ShuffleEvery is
+// wire-encoded as nanoseconds, like every duration in job parameters.
+type CyclonParams struct {
+	ViewSize     int   `json:"view_size"`
+	ShuffleLen   int   `json:"shuffle_len"`
+	ShuffleEvery int64 `json:"shuffle_every"`
+}
+
+// Cyclon builds a cyclon.Config from params.
+func (p CyclonParams) Config() cyclon.Config {
+	cfg := cyclon.DefaultConfig()
+	if p.ViewSize > 0 {
+		cfg.ViewSize = p.ViewSize
+	}
+	if p.ShuffleLen > 0 {
+		cfg.ShuffleLen = p.ShuffleLen
+	}
+	if p.ShuffleEvery > 0 {
+		cfg.ShuffleEvery = time.Duration(p.ShuffleEvery)
+	}
+	return cfg
+}
+
 func cyclonFactory(params json.RawMessage) (core.App, error) {
+	var p CyclonParams
+	if len(params) > 0 {
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("cyclon app: %w", err)
+		}
+	}
 	return core.AppFunc(func(ctx *core.AppContext) error {
-		n := cyclon.New(ctx, cyclon.DefaultConfig())
+		n := cyclon.New(ctx, p.Config())
 		if err := n.Start(ctx.Job.Nodes); err != nil {
 			return err
 		}

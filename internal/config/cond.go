@@ -1,0 +1,129 @@
+package config
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/splaykit/splay/internal/faults"
+)
+
+// Trigger and assertion conditions are one-line expressions:
+//
+//	total(chord.failed_lookups) > 10
+//	rate(chord.failed_lookups) < 0.5
+//	p99(chord.lookup_latency_ns) < 2000000000
+//	nodes() > 100
+//
+// stat ∈ total|rate|gauge|mean|p50|p90|p99|nodes, operator ∈ < | >.
+// Trigger actions are "heal", "kill 50%", "kill 3" or "grow 5".
+
+var condStats = map[string]faults.Stat{
+	"total": faults.StatTotal,
+	"rate":  faults.StatRate,
+	"gauge": faults.StatGauge,
+	"mean":  faults.StatMean,
+	"p50":   faults.StatP50,
+	"p90":   faults.StatP90,
+	"p99":   faults.StatP99,
+	"nodes": faults.StatNodes,
+}
+
+// parseCondition parses a condition expression from a scalar node.
+func parseCondition(n *node, path string) (faults.Condition, *Error) {
+	var c faults.Condition
+	s, perr := asString(n, path)
+	if perr != nil {
+		return c, perr
+	}
+	open := strings.IndexByte(s, '(')
+	closing := strings.IndexByte(s, ')')
+	if open <= 0 || closing < open {
+		return c, errf(ErrBadValue, path, n, "want \"stat(metric) > value\", got %q", s)
+	}
+	statName := strings.TrimSpace(s[:open])
+	stat, ok := condStats[statName]
+	if !ok {
+		return c, errf(ErrBadValue, path, n, "unknown statistic %q (want total, rate, gauge, mean, p50, p90, p99 or nodes)", statName)
+	}
+	metric := strings.TrimSpace(s[open+1 : closing])
+	if metric == "" && stat != faults.StatNodes {
+		return c, errf(ErrBadValue, path, n, "%s() needs a metric name", statName)
+	}
+	if metric != "" && stat == faults.StatNodes {
+		return c, errf(ErrBadValue, path, n, "nodes() takes no metric")
+	}
+	rest := strings.TrimSpace(s[closing+1:])
+	var op faults.Op
+	switch {
+	case strings.HasPrefix(rest, ">"):
+		op = faults.Above
+	case strings.HasPrefix(rest, "<"):
+		op = faults.Below
+	default:
+		return c, errf(ErrBadValue, path, n, "want > or < after %s(%s), got %q", statName, metric, rest)
+	}
+	valText := strings.TrimSpace(rest[1:])
+	val, err := strconv.ParseFloat(valText, 64)
+	if err != nil {
+		return c, errf(ErrBadValue, path, n, "want a numeric threshold, got %q", valText)
+	}
+	c.Metric = metric
+	c.Stat = stat
+	c.Op = op
+	c.Value = val
+	return c, nil
+}
+
+// parseAction parses a trigger's "do" effect.
+func parseAction(n *node, path string) (faults.Action, *Error) {
+	var a faults.Action
+	s, perr := asString(n, path)
+	if perr != nil {
+		return a, perr
+	}
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return a, errf(ErrBadValue, path, n, "want heal, \"kill n\", \"kill p%%\" or \"grow n\", got %q", s)
+	}
+	switch fields[0] {
+	case "heal":
+		if len(fields) != 1 {
+			return a, errf(ErrBadValue, path, n, "heal takes no argument, got %q", s)
+		}
+		a.Kind = faults.ActHeal
+		return a, nil
+	case "kill":
+		if len(fields) != 2 {
+			return a, errf(ErrBadValue, path, n, "want \"kill <count>\" or \"kill <percent>%%\", got %q", s)
+		}
+		a.Kind = faults.ActKill
+		if strings.HasSuffix(fields[1], "%") {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(fields[1], "%"), 64)
+			if err != nil || v <= 0 || v >= 100 {
+				return a, errf(ErrBadValue, path, n, "kill percentage must be in (0%%, 100%%), got %q", fields[1])
+			}
+			a.Fraction = v / 100
+			return a, nil
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v <= 0 {
+			return a, errf(ErrBadValue, path, n, "kill count must be a positive integer, got %q", fields[1])
+		}
+		a.Count = v
+		return a, nil
+	case "grow":
+		if len(fields) != 2 {
+			return a, errf(ErrBadValue, path, n, "want \"grow <count>\", got %q", s)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v <= 0 {
+			return a, errf(ErrBadValue, path, n, "grow count must be a positive integer, got %q", fields[1])
+		}
+		a.Kind = faults.ActGrow
+		a.Count = v
+		return a, nil
+	case "inject":
+		return a, errf(ErrUnsupported, path, n, "inject actions are not expressible in config documents yet")
+	}
+	return a, errf(ErrBadValue, path, n, "unknown action %q (want heal, \"kill n\", \"kill p%%\" or \"grow n\")", s)
+}

@@ -1,0 +1,69 @@
+package config
+
+import "fmt"
+
+// ErrorCode classifies a config-plane failure. Codes are part of the
+// wire surface: splayctl prints them, the hosting plane maps them into
+// bad_scenario rejections, and the table tests in errors_test.go pin
+// every code the parser and compiler can emit.
+type ErrorCode string
+
+// Config error codes.
+const (
+	// ErrSyntax is a document that does not parse: bad indentation,
+	// missing values, unclosed quotes, duplicate keys.
+	ErrSyntax ErrorCode = "syntax"
+	// ErrUnsupported is a YAML construct the subset deliberately
+	// declines (anchors, tags, flow maps, block scalars, multi-doc) or
+	// a scenario feature that cannot travel through this entry point
+	// (e.g. a churn trace reference without a file loader).
+	ErrUnsupported ErrorCode = "unsupported"
+	// ErrUnknownField is a mapping key the schema does not define.
+	ErrUnknownField ErrorCode = "unknown_field"
+	// ErrUnknownApp references an application the catalog does not know.
+	ErrUnknownApp ErrorCode = "unknown_app"
+	// ErrUnknownParam is an application parameter its schema does not
+	// declare.
+	ErrUnknownParam ErrorCode = "unknown_param"
+	// ErrBadValue is a scalar that does not convert to the declared
+	// kind ("true" where a duration belongs, "fast" as an integer).
+	ErrBadValue ErrorCode = "bad_value"
+	// ErrOutOfRange is a well-typed value outside its declared bounds.
+	ErrOutOfRange ErrorCode = "out_of_range"
+	// ErrMissing is a required field the document omits.
+	ErrMissing ErrorCode = "missing"
+)
+
+// Error is the typed error every config operation returns: what went
+// wrong (Code), where in the schema (Path, e.g. "apps[0].params.bits"),
+// and where in the document (Line/Col, 1-based; 0 when the failure has
+// no textual anchor, e.g. validating wire JSON). Documents never
+// silently default: anything outside the schema surfaces here.
+type Error struct {
+	Code ErrorCode
+	Path string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	pos := ""
+	if e.Line > 0 {
+		pos = fmt.Sprintf("%d:%d: ", e.Line, e.Col)
+	}
+	at := ""
+	if e.Path != "" {
+		at = " at " + e.Path
+	}
+	return fmt.Sprintf("config: %s%s%s: %s", pos, e.Code, at, e.Msg)
+}
+
+// errf builds an Error anchored at a node (nil node = no position).
+func errf(code ErrorCode, path string, n *node, format string, args ...any) *Error {
+	e := &Error{Code: code, Path: path, Msg: fmt.Sprintf(format, args...)}
+	if n != nil {
+		e.Line, e.Col = n.line, n.col
+	}
+	return e
+}

@@ -1,0 +1,140 @@
+package config
+
+import (
+	"testing"
+	"time"
+)
+
+func scalar(s string) *node { return &node{kind: scalarNode, line: 1, col: 1, scalar: s} }
+func qscalar(s string) *node {
+	return &node{kind: scalarNode, line: 1, col: 1, scalar: s, quoted: true}
+}
+
+// TestValueConversions pins every human-unit converter: accepted forms,
+// the wire value each produces, and the typed code each rejection
+// carries. Quoted scalars are strings, never units.
+func TestValueConversions(t *testing.T) {
+	t.Parallel()
+
+	t.Run("bool", func(t *testing.T) {
+		t.Parallel()
+		for s, want := range map[string]bool{"true": true, "false": false} {
+			if got, perr := asBool(scalar(s), "p"); perr != nil || got != want {
+				t.Errorf("asBool(%q) = %v, %v", s, got, perr)
+			}
+		}
+		for _, s := range []string{"yes", "on", "True", "1"} {
+			if _, perr := asBool(scalar(s), "p"); perr == nil || perr.Code != ErrBadValue {
+				t.Errorf("asBool(%q) did not fail as bad_value: %v", s, perr)
+			}
+		}
+	})
+
+	t.Run("int", func(t *testing.T) {
+		t.Parallel()
+		if v, perr := asInt(scalar("-42"), "p"); perr != nil || v != -42 {
+			t.Errorf("asInt(-42) = %d, %v", v, perr)
+		}
+		if _, perr := asInt(scalar("2.5"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asInt(2.5) = %v, want bad_value", perr)
+		}
+		if _, perr := asInt(qscalar("42"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asInt(quoted) = %v, want bad_value", perr)
+		}
+	})
+
+	t.Run("duration", func(t *testing.T) {
+		t.Parallel()
+		for s, want := range map[string]time.Duration{
+			"30s": 30 * time.Second, "100ms": 100 * time.Millisecond,
+			"5m": 5 * time.Minute, "1h30m": 90 * time.Minute, "0": 0,
+		} {
+			if got, perr := asDuration(scalar(s), "p"); perr != nil || got != want {
+				t.Errorf("asDuration(%q) = %v, %v; want %v", s, got, perr, want)
+			}
+		}
+		if _, perr := asDuration(scalar("30"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asDuration(30) = %v, want bad_value (unit required)", perr)
+		}
+		if _, perr := asDuration(scalar("-5s"), "p"); perr == nil || perr.Code != ErrOutOfRange {
+			t.Errorf("asDuration(-5s) = %v, want out_of_range", perr)
+		}
+		if _, perr := asDuration(qscalar("30s"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asDuration(quoted) = %v, want bad_value", perr)
+		}
+	})
+
+	t.Run("size", func(t *testing.T) {
+		t.Parallel()
+		for s, want := range map[string]int64{
+			"64KB": 64 << 10, "4MB": 4 << 20, "1GB": 1 << 30, "512B": 512, "1000": 1000,
+		} {
+			if got, perr := asSize(scalar(s), "p"); perr != nil || got != want {
+				t.Errorf("asSize(%q) = %d, %v; want %d", s, got, perr, want)
+			}
+		}
+		for _, s := range []string{"64kb", "-1KB", "fast"} {
+			if _, perr := asSize(scalar(s), "p"); perr == nil || perr.Code != ErrBadValue {
+				t.Errorf("asSize(%q) = %v, want bad_value", s, perr)
+			}
+		}
+	})
+
+	t.Run("rate", func(t *testing.T) {
+		t.Parallel()
+		for s, want := range map[string]float64{
+			"512kbps": 512e3, "10mbps": 10e6, "1gbps": 1e9, "56bps": 56, "1000": 1000,
+		} {
+			if got, perr := asRate(scalar(s), "p"); perr != nil || got != want {
+				t.Errorf("asRate(%q) = %g, %v; want %g", s, got, perr, want)
+			}
+		}
+		if _, perr := asRate(scalar("-1kbps"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asRate(-1kbps) = %v, want bad_value", perr)
+		}
+	})
+
+	t.Run("fraction", func(t *testing.T) {
+		t.Parallel()
+		for s, want := range map[string]float64{
+			"50%": 0.5, "0.25": 0.25, "100%": 1, "0": 0,
+		} {
+			if got, perr := asFraction(scalar(s), "p"); perr != nil || got != want {
+				t.Errorf("asFraction(%q) = %g, %v; want %g", s, got, perr, want)
+			}
+		}
+		if _, perr := asFraction(scalar("150%"), "p"); perr == nil || perr.Code != ErrOutOfRange {
+			t.Errorf("asFraction(150%%) = %v, want out_of_range", perr)
+		}
+		if _, perr := asFraction(scalar("1.5"), "p"); perr == nil || perr.Code != ErrOutOfRange {
+			t.Errorf("asFraction(1.5) = %v, want out_of_range", perr)
+		}
+		if _, perr := asFraction(scalar("half"), "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asFraction(half) = %v, want bad_value", perr)
+		}
+	})
+
+	t.Run("missing and non-scalar", func(t *testing.T) {
+		t.Parallel()
+		if _, perr := asString(nil, "p"); perr == nil || perr.Code != ErrMissing {
+			t.Errorf("asString(nil) = %v, want missing", perr)
+		}
+		if _, perr := asInt(&node{kind: listNode}, "p"); perr == nil || perr.Code != ErrBadValue {
+			t.Errorf("asInt(list) = %v, want bad_value", perr)
+		}
+	})
+}
+
+// TestErrorRendering pins the Error string format splayctl prints.
+func TestErrorRendering(t *testing.T) {
+	t.Parallel()
+	e := &Error{Code: ErrOutOfRange, Path: "apps[0].params.bits", Line: 7, Col: 11, Msg: "99 is outside 1..52"}
+	want := "config: 7:11: out_of_range at apps[0].params.bits: 99 is outside 1..52"
+	if got := e.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	bare := &Error{Code: ErrSyntax, Msg: "empty document"}
+	if got := bare.Error(); got != "config: syntax: empty document" {
+		t.Errorf("bare Error() = %q", got)
+	}
+}

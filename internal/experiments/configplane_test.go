@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// The config-plane experiments are CI's named targets for DESIGN.md
+// invariant 11: a scenario document and its handwritten-Go twin are
+// byte-identical on the wire and fingerprint-identical in the run.
+// (TestGoldenBitForBit additionally pins both experiments' metrics.)
+
+func TestConfigplaneEquivalence(t *testing.T) {
+	t.Parallel()
+	res := run(t, "configplane", 1)
+	if res.Metrics["equal"] != 1 {
+		t.Errorf("document/Go run equivalence = %v, want 1", res.Metrics["equal"])
+	}
+	if res.Metrics["failed_lookups"] <= 0 {
+		t.Errorf("failed_lookups = %v; the documented partition should bite",
+			res.Metrics["failed_lookups"])
+	}
+	if res.Metrics["lookups"] <= res.Metrics["failed_lookups"] {
+		t.Errorf("lookups %v not above failures %v; the drill should mostly succeed",
+			res.Metrics["lookups"], res.Metrics["failed_lookups"])
+	}
+}
+
+func TestGossipShape(t *testing.T) {
+	t.Parallel()
+	res := run(t, "gossip", 1)
+	if res.Metrics["shuffles"] <= 200 {
+		t.Errorf("shuffles = %v, want > 200 (the document's assertion bar)", res.Metrics["shuffles"])
+	}
+	// 24 nodes × view 16: near-full views prove the overlay mixed.
+	if res.Metrics["view_sum"] < 24*16*3/4 {
+		t.Errorf("view_sum = %v, want ≥ %d", res.Metrics["view_sum"], 24*16*3/4)
+	}
+	if res.Metrics["streams"] < 24 {
+		t.Errorf("streams = %v, want every one of the 24 nodes reporting", res.Metrics["streams"])
+	}
+}

@@ -64,7 +64,7 @@ func TestGoldenBitForBit(t *testing.T) {
 		"fig12": 0.2, "fig13": 0.2, "fig14": 0.1,
 		"ctlplane": 0.05, "lookup10k": 0.02, "obsplane": 0.05,
 		"faultplane": 0.05, "lookup100k": 0.002, "lookup1m": 0.0002,
-		"hostplane": 0.05,
+		"hostplane": 0.05, "configplane": 1, "gossip": 1,
 	}
 	specs := make([]Spec, 0, len(scales)+2)
 	for _, id := range IDs() {

@@ -75,9 +75,9 @@ func (v *fakeView) GaugeSum(name string) int64 {
 	defer v.mu.Unlock()
 	return v.gauges[name]
 }
-func (v *fakeView) HistStats(string) (uint64, int64)      { return 0, 0 }
-func (v *fakeView) HistQuantile(string, float64) int64    { return 0 }
-func (v *fakeView) Nodes() int                            { return v.nodes }
+func (v *fakeView) HistStats(string) (uint64, int64)   { return 0, 0 }
+func (v *fakeView) HistQuantile(string, float64) int64 { return 0 }
+func (v *fakeView) Nodes() int                         { return v.nodes }
 
 // fakeActuators records calls.
 type fakeActuators struct {

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/splaykit/splay/internal/config"
 	"github.com/splaykit/splay/internal/controller"
 	"github.com/splaykit/splay/internal/core"
 	"github.com/splaykit/splay/internal/metrics"
@@ -77,6 +78,14 @@ type Config struct {
 	// Metrics receives per-tenant instruments (host.deploys.<tenant>,
 	// host.frames.<tenant>, …). Nil disables instrumentation.
 	Metrics *metrics.Registry
+	// Catalog validates submissions' application references and typed
+	// parameters at admission: bad apps and out-of-range params are
+	// rejected as bad_scenario with the offending field, before the job
+	// ever queues. It also enables config-document submissions (the
+	// YAML-flavored scenario language), compiled at the door to the same
+	// canonical wire form JSON submissions arrive in. Nil skips
+	// validation and declines documents.
+	Catalog *config.Catalog
 }
 
 // ErrorCode classifies a JobError.
@@ -94,12 +103,16 @@ const (
 	ErrClosed      ErrorCode = "closed"       // service shut down
 )
 
-// JobError is the typed error every hosting operation returns.
+// JobError is the typed error every hosting operation returns. Field
+// names the offending scenario field on bad_scenario rejections (e.g.
+// "apps[0].params.bits") so tenants can fix documents without reading
+// server logs.
 type JobError struct {
 	Code   ErrorCode `json:"code"`
 	Job    string    `json:"job,omitempty"`
 	Tenant string    `json:"tenant,omitempty"`
 	Detail string    `json:"detail,omitempty"`
+	Field  string    `json:"field,omitempty"`
 	Err    error     `json:"-"`
 }
 
@@ -262,12 +275,36 @@ func (s *Service) capacity() int {
 }
 
 // Submit parses a serialized scenario, admits it against the tenant's
-// quota and enqueues it. It returns the queued job's view; placement
-// happens asynchronously on the runtime.
+// quota and enqueues it. Submissions arrive as wire JSON or — when the
+// service has a catalog — as config documents, compiled at admission to
+// the identical wire form; either way the catalog validates every
+// application reference and typed parameter before the job queues.
+// Returns the queued job's view; placement happens asynchronously on
+// the runtime.
 func (s *Service) Submit(key string, scenario []byte) (JobView, error) {
 	ten, jerr := s.authorize(key)
 	if jerr != nil {
 		return JobView{}, jerr
+	}
+	if config.IsDocument(scenario) {
+		if s.cfg.Catalog == nil {
+			s.rejects.Inc()
+			return JobView{}, &JobError{Code: ErrBadScenario, Tenant: ten.Name,
+				Detail: "this platform accepts wire JSON only (no catalog configured for config documents)"}
+		}
+		wire, perr := config.Compile(scenario, config.Options{Catalog: s.cfg.Catalog})
+		if perr != nil {
+			s.rejects.Inc()
+			return JobView{}, &JobError{Code: ErrBadScenario, Tenant: ten.Name,
+				Field: perr.Path, Err: perr}
+		}
+		scenario = wire
+	} else if s.cfg.Catalog != nil {
+		if perr := config.ValidateWire(scenario, s.cfg.Catalog); perr != nil {
+			s.rejects.Inc()
+			return JobView{}, &JobError{Code: ErrBadScenario, Tenant: ten.Name,
+				Field: perr.Path, Err: perr}
+		}
 	}
 	req, err := decodeSubmission(scenario)
 	if err != nil {

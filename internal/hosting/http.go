@@ -122,6 +122,7 @@ type errBody struct {
 		Job    string    `json:"job,omitempty"`
 		Tenant string    `json:"tenant,omitempty"`
 		Detail string    `json:"detail,omitempty"`
+		Field  string    `json:"field,omitempty"`
 	} `json:"error"`
 }
 
@@ -131,7 +132,7 @@ func DecodeError(status int, body []byte) *JobError {
 	var eb errBody
 	if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
 		return &JobError{Code: eb.Error.Code, Job: eb.Error.Job,
-			Tenant: eb.Error.Tenant, Detail: eb.Error.Detail}
+			Tenant: eb.Error.Tenant, Detail: eb.Error.Detail, Field: eb.Error.Field}
 	}
 	return &JobError{Code: ErrorCode("http"), Detail: http.StatusText(status)}
 }
@@ -146,6 +147,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	eb.Error.Job = jerr.Job
 	eb.Error.Tenant = jerr.Tenant
 	eb.Error.Detail = jerr.Detail
+	eb.Error.Field = jerr.Field
 	if jerr.Err != nil {
 		if eb.Error.Detail != "" {
 			eb.Error.Detail += ": "

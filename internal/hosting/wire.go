@@ -21,8 +21,8 @@ import (
 
 // wireSubmission is the subset of the scenario document hosting reads.
 type wireSubmission struct {
-	Name string  `json:"name"`
-	Seed int64   `json:"seed"`
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
 	Apps []struct {
 		App      string          `json:"app"`
 		Params   json.RawMessage `json:"params"`

@@ -10,9 +10,28 @@ import (
 	"time"
 
 	"github.com/splaykit/splay/internal/core"
+	"github.com/splaykit/splay/internal/metrics"
 	"github.com/splaykit/splay/internal/rpc"
 	"github.com/splaykit/splay/internal/transport"
 )
+
+// Instruments is the protocol's optional metric set for the
+// observability plane. The zero value disables everything; updates are
+// pure memory operations, so attaching instruments never perturbs
+// simulation schedules.
+type Instruments struct {
+	Shuffles *metrics.Counter // completed shuffle initiations
+	View     *metrics.Gauge   // current partial-view size
+}
+
+// NewInstruments registers the protocol's canonical series on reg
+// ("cyclon." prefix). A nil registry yields the zero (disabled) set.
+func NewInstruments(reg *metrics.Registry) Instruments {
+	return Instruments{
+		Shuffles: reg.Counter("cyclon.shuffles"),
+		View:     reg.Gauge("cyclon.view"),
+	}
+}
 
 // Entry is one view element: a peer plus its gossip age.
 type Entry struct {
@@ -42,10 +61,14 @@ type Node struct {
 	client *rpc.Client
 	server *rpc.Server
 	stop   func()
+	ins    Instruments
 
 	// Shuffles counts completed shuffle initiations.
 	Shuffles uint64
 }
+
+// SetInstruments attaches instruments to the node.
+func (n *Node) SetInstruments(ins Instruments) { n.ins = ins }
 
 // New creates a node; its address is ctx.Job.Me.
 func New(ctx *core.AppContext, cfg Config) *Node {
@@ -215,6 +238,8 @@ func (n *Node) shuffle() {
 	}
 	n.merge(reply, send)
 	n.Shuffles++
+	n.ins.Shuffles.Inc()
+	n.ins.View.Set(int64(len(n.view)))
 }
 
 // handleShuffle answers a shuffle: return our own sample and merge
@@ -226,6 +251,7 @@ func (n *Node) handleShuffle(args rpc.Args) (any, error) {
 	}
 	reply := n.sample(n.cfg.ShuffleLen, transport.Addr{})
 	n.merge(in, reply)
+	n.ins.View.Set(int64(len(n.view)))
 	if reply == nil {
 		reply = []Entry{}
 	}

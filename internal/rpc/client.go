@@ -43,9 +43,9 @@ type Client struct {
 	mu      sync.Mutex
 	pooling bool
 	peers   []*peerConn
-	ins     *Instruments // shared noInstruments when disabled; never nil
-	backoff faults.Backoff                   // redial pacing; zero = disabled
-	redials map[transport.Addr]*redialState  // destinations under backoff only
+	ins     *Instruments                    // shared noInstruments when disabled; never nil
+	backoff faults.Backoff                  // redial pacing; zero = disabled
+	redials map[transport.Addr]*redialState // destinations under backoff only
 
 	// deadPeers marks destinations whose pooled connection failed, so
 	// the next dial there counts as a redial. Entries are removed by

@@ -53,11 +53,11 @@ type event struct {
 // Event kinds. Encoding the kernel's own actions as typed events (instead of
 // closures) is what makes the hot paths allocation-free.
 const (
-	evFunc  uint8 = iota // call fn on the run loop
-	evSpawn              // start fn as a new task
-	evResume             // resume task with value v
-	evSleep              // wake the sleeping task (two-step, see Sleep)
-	evWake               // wake waiter w with v, if its generation matches
+	evFunc   uint8 = iota // call fn on the run loop
+	evSpawn               // start fn as a new task
+	evResume              // resume task with value v
+	evSleep               // wake the sleeping task (two-step, see Sleep)
+	evWake                // wake waiter w with v, if its generation matches
 )
 
 // evLess orders events by (time, seq): the deterministic total order.
@@ -111,11 +111,11 @@ func evPop(h *[]*event) *event {
 // wheel is the kernel's event queue: the near-future ring plus the overflow
 // heap. The zero value is ready to use at virtual time zero.
 type wheel struct {
-	startSlot int64               // nowNS >> slotBits: the cursor bucket
-	ringCount int                 // events currently in the ring
+	startSlot int64 // nowNS >> slotBits: the cursor bucket
+	ringCount int   // events currently in the ring
 	buckets   [wheelSlots][]*event
-	occ       [occWords]uint64    // bitmap of non-empty buckets
-	overflow  []*event            // events beyond the ring horizon
+	occ       [occWords]uint64 // bitmap of non-empty buckets
+	overflow  []*event         // events beyond the ring horizon
 }
 
 func (q *wheel) size() int { return q.ringCount + len(q.overflow) }

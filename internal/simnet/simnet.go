@@ -115,12 +115,12 @@ func (pt *netPart) init(k *sim.Kernel, seed int64) {
 
 // Network is a simulated network of hosts.
 type Network struct {
-	pk    *sim.ParKernel // nil on single-kernel networks
-	model LinkModel
-	parts []netPart
-	slab  []Host  // all host state, one dense slab
-	hosts []*Host // stable pointers into slab
-	proc  ProcDelayFunc
+	pk     *sim.ParKernel // nil on single-kernel networks
+	model  LinkModel
+	parts  []netPart
+	slab   []Host  // all host state, one dense slab
+	hosts  []*Host // stable pointers into slab
+	proc   ProcDelayFunc
 	silent bool // dead hosts blackhole instead of refusing
 
 	// Fault-plane state, driven by the scenario layer's actuators (see

@@ -1,0 +1,187 @@
+package splay
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestConfigCapBits pins the capability bits the config compiler
+// hardcodes (it cannot import this package) against the SDK's Cap
+// constants — differentially, by comparing a compiled document with its
+// handwritten-Go twin byte for byte.
+func TestConfigCapBits(t *testing.T) {
+	t.Parallel()
+	if uint32(CapNet) != 1 || uint32(CapFS) != 2 || uint32(AllCaps) != 3 {
+		t.Fatalf("Cap constants moved (net=%d fs=%d all=%d); update internal/config's cap bits",
+			CapNet, CapFS, AllCaps)
+	}
+	cases := []struct {
+		caps string
+		want Cap
+	}{
+		{"[net]", CapNet},
+		{"[fs]", CapFS},
+		{"[net, fs]", AllCaps},
+		{"all", AllCaps},
+	}
+	for _, tc := range cases {
+		doc := "apps:\n  - app: chord\n    env:\n      caps: " + tc.caps + "\n"
+		wire, err := CompileConfig([]byte(doc))
+		if err != nil {
+			t.Fatalf("caps %s: %v", tc.caps, err)
+		}
+		twin := Scenario{Apps: []AppSpec{{Name: "chord", Env: EnvConfig{Caps: tc.want}}}}
+		want, err := twin.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, want) {
+			t.Errorf("caps %s:\n doc  %s\n twin %s", tc.caps, wire, want)
+		}
+	}
+}
+
+// TestConfigGoEquivalence is the compact invariant-11 check: a document
+// exercising testbed, params, collect, faults and assertions compiles to
+// the exact bytes its handwritten-Go twin marshals to. (The golden-pinned
+// configplane experiment proves the two also *run* identically.)
+func TestConfigGoEquivalence(t *testing.T) {
+	t.Parallel()
+	doc := `name: twin
+seed: 11
+testbed:
+  kind: uniform
+  daemons: 10
+  rtt: 10ms
+apps:
+  - app: chord
+    params:
+      bits: 16
+      fault_tolerant: true
+    nodes: 8
+    full_list: true
+collect:
+  metrics: true
+  report_every: 5s
+faults:
+  eval_every: 5s
+  events:
+    - at: 30s
+      kind: partition
+      fraction: 50%
+assert:
+  - name: bites
+    eventually: total(chord.failed_lookups) > 0
+duration: 2m
+`
+	wire, err := CompileConfig([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := Scenario{
+		Name:    "twin",
+		Seed:    11,
+		Testbed: Uniform(10, 10*time.Millisecond, 0),
+		Apps: []AppSpec{{
+			Name:     "chord",
+			Params:   []byte(`{"bits":16,"fault_tolerant":true}`),
+			Nodes:    8,
+			FullList: true,
+		}},
+		Collect:  Collect{Metrics: true, ReportEvery: 5 * time.Second},
+		Faults:   FaultPlan{EvalEvery: 5 * time.Second, Events: []FaultEvent{PartitionAt(30*time.Second, 0.5)}},
+		Assert:   []Assertion{EventuallyHolds("bites", Metric("chord.failed_lookups", StatTotal, Above, 0), 0)},
+		Duration: 2 * time.Minute,
+	}
+	want, err := twin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, want) {
+		t.Errorf("document and Go twin diverge:\n doc  %s\n twin %s", wire, want)
+	}
+	// And the loaded Scenario re-marshals to the same bytes.
+	sc, err := LoadScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Errorf("LoadScenario round-trip diverges:\n got  %s\n want %s", again, want)
+	}
+}
+
+// TestLoadScenarioErrors pins the SDK-surface error behavior: typed
+// *ConfigError with code and field path, and the in-memory decline of
+// trace references.
+func TestLoadScenarioErrors(t *testing.T) {
+	t.Parallel()
+	_, err := LoadScenario([]byte("apps:\n  - app: chord\n    params:\n      bits: 99\n"))
+	var cerr *ConfigError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *ConfigError", err)
+	}
+	if cerr.Code != "out_of_range" || cerr.Path != "apps[0].params.bits" || cerr.Line != 4 {
+		t.Errorf("error = %+v, want out_of_range at apps[0].params.bits line 4", cerr)
+	}
+
+	_, err = LoadScenario([]byte("apps:\n  - app: chord\nchurn:\n  trace: t.trace\n"))
+	if !errors.As(err, &cerr) || cerr.Code != "unsupported" || cerr.Path != "churn.trace" {
+		t.Errorf("in-memory trace ref = %v, want unsupported at churn.trace", err)
+	}
+
+	if err := ValidateConfig([]byte("apps:\n  - app: quux\n")); !errors.As(err, &cerr) || cerr.Code != "unknown_app" {
+		t.Errorf("ValidateConfig unknown app = %v", err)
+	}
+	if err := ValidateConfig([]byte("apps:\n  - app: chord\n")); err != nil {
+		t.Errorf("ValidateConfig valid doc = %v", err)
+	}
+}
+
+// TestLoadScenarioFile resolves churn trace references relative to the
+// document's directory.
+func TestLoadScenarioFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	trace := "0.5 join 1\n1.5 join 2\n9 leave 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "nodes.trace"), []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := "apps:\n  - app: chord\nchurn:\n  trace: nodes.trace\n"
+	if err := os.WriteFile(filepath.Join(dir, "scenario.yaml"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScenarioFile(filepath.Join(dir, "scenario.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Churn.Enabled() || sc.Churn.Slots() != 3 {
+		t.Errorf("churn = enabled %v slots %d, want 3 slots", sc.Churn.Enabled(), sc.Churn.Slots())
+	}
+	if _, err := LoadScenarioFile(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+// TestIsConfigDocumentSniff pins the submit-path sniff the CLI and the
+// hosting plane share.
+func TestIsConfigDocumentSniff(t *testing.T) {
+	t.Parallel()
+	if !IsConfigDocument([]byte("apps:\n  - app: chord\n")) {
+		t.Error("document sniffed as wire")
+	}
+	wire, err := (Scenario{Apps: []AppSpec{{Name: "chord"}}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConfigDocument(wire) {
+		t.Error("wire sniffed as document")
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/splaykit/splay/internal/apps"
 	"github.com/splaykit/splay/internal/churn"
 	"github.com/splaykit/splay/internal/controller"
 	"github.com/splaykit/splay/internal/core"
@@ -676,22 +675,18 @@ func (sc Scenario) simLogger(rt core.Runtime) core.Logger {
 func (sc Scenario) buildRegistry(collect *collectTarget, rules *faults.RPCRules) (*core.Registry, error) {
 	reg := core.NewRegistry()
 	for _, spec := range sc.Apps {
-		if spec.App == nil && spec.New == nil {
-			if err := apps.Register(reg); err != nil {
-				return nil, err
-			}
-			break
-		}
-	}
-	for _, spec := range sc.Apps {
 		if spec.Name == "" {
 			return nil, errors.New("splay: app spec needs a name")
 		}
 		if spec.App == nil && spec.New == nil {
-			if _, err := reg.New(spec.Name, nil); err != nil {
+			// By-name built-ins deploy through the SDK factories so they
+			// get an Env: instruments and collect-plane reporting when the
+			// job's params opt in, the raw engine schedule otherwise.
+			nf := builtinFactory(spec.Name)
+			if nf == nil {
 				return nil, fmt.Errorf("splay: app %q is not built in and has no implementation", spec.Name)
 			}
-			continue
+			spec.New = nf
 		}
 		if err := reg.Register(spec.Name, makeFactory(spec, collect, rules)); err != nil {
 			return nil, fmt.Errorf("splay: %w", err)
